@@ -1,0 +1,54 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-exp all|table1,figure4,...] [-scale 1.0] [-seed 42] [-gap 0.05]
+//
+// With -scale 1 the workload sizes match the paper's axes
+// (250/500/1000 statements); smaller scales run proportionally lighter
+// instances with the same structure. Output is one aligned text table
+// per experiment, with the paper's expected values quoted in notes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "comma-separated experiment names, or 'all' ("+strings.Join(experiments.Names(), ",")+")")
+	scale := flag.Float64("scale", 1.0, "workload-size multiplier (1.0 = paper scale)")
+	seed := flag.Int64("seed", 42, "workload generation seed")
+	gap := flag.Float64("gap", 0.05, "solver optimality-gap tolerance")
+	flag.Parse()
+
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, GapTol: *gap}
+
+	names := experiments.Names()
+	if *exp != "all" {
+		names = strings.Split(*exp, ",")
+	}
+	start := time.Now()
+	failed := 0
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		t := time.Now()
+		rep, err := experiments.Run(name, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", name, err)
+			failed++
+			continue
+		}
+		fmt.Println(rep.String())
+		fmt.Printf("(%s took %.1fs)\n\n", name, time.Since(t).Seconds())
+	}
+	fmt.Printf("total: %.1fs, %d experiment(s) failed\n", time.Since(start).Seconds(), failed)
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

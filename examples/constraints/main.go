@@ -1,0 +1,88 @@
+// Constrained physical design (Appendix E): the constraint language
+// compiles DBA statements — subset cardinality limits, clustered-index
+// rules, per-query cost assertions and generators — into linear rows
+// of the same BIP, with no advisor-specific machinery. The example
+// also shows the infeasibility report of Figure 3 line 2.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/cophy"
+	"repro/internal/engine"
+	"repro/internal/lp"
+	"repro/internal/tpch"
+	"repro/internal/workload"
+)
+
+func main() {
+	cat := tpch.Build(tpch.Config{ScaleFactor: 1})
+	eng := engine.New(cat, engine.SystemA())
+	w := workload.Hom(workload.HomConfig{Queries: 80, Seed: 4})
+	s := cophy.Candidates(cat, w, cophy.CGenOptions{Covering: true})
+	// Offer clustered alternatives on lineitem so the clustered rule
+	// has something to arbitrate.
+	s = append(s,
+		&catalog.Index{Table: "lineitem", Key: []string{"l_shipdate"}, Clustered: true},
+		&catalog.Index{Table: "lineitem", Key: []string{"l_partkey"}, Clustered: true},
+	)
+	catalog.SortIndexes(s)
+	ad := cophy.NewAdvisor(cat, eng, cophy.Options{GapTol: 0.05})
+
+	// Pick a few statements of a selective template for the per-query
+	// cost assertion; not every query is improvable by indexing, so a
+	// blanket FOR q IN W assertion can be genuinely infeasible.
+	var capped []string
+	for _, st := range w.Queries() {
+		if st.Query.Template == "q6-forecast-revenue" && len(capped) < 4 {
+			capped = append(capped, st.Query.ID)
+		}
+	}
+
+	cons := cophy.FractionOfData(cat, 1)
+	cons.Items = []cophy.Item{
+		// "At most 3 indexes on lineitem."
+		cophy.Count{Name: "lineitem-cap", Filter: cophy.OnTable("lineitem"), Sense: lp.LE, V: 3},
+		// "At most 4 wide (≥2 key columns) indexes anywhere."
+		cophy.Count{Name: "wide-cap", Filter: cophy.MinKeyCols(2), Sense: lp.LE, V: 4},
+		// Implicit rule: one clustered index per table.
+		cophy.ClusteredPerTable{},
+		// ASSERT cost(q, X*) ≤ 0.9·cost(q, X0) for the capped queries.
+		cophy.QueryCost{Factor: 0.9, IDs: capped},
+	}
+
+	res, err := ad.Recommend(w, s, cons)
+	if err != nil {
+		panic(err)
+	}
+	if res.Infeasible {
+		fmt.Println("infeasible; offending constraints:", res.Violated)
+		return
+	}
+	fmt.Printf("recommendation under %d constraints (%d indexes, gap %.1f%%):\n",
+		len(cons.Items), len(res.Indexes), res.Gap*100)
+	lineitem, wide := 0, 0
+	for _, ix := range res.Indexes {
+		if ix.Table == "lineitem" {
+			lineitem++
+		}
+		if len(ix.Key) >= 2 {
+			wide++
+		}
+		fmt.Println("  ", ix)
+	}
+	fmt.Printf("check: %d lineitem indexes (≤3), %d wide indexes (≤4)\n\n", lineitem, wide)
+
+	// An impossible constraint triggers the feasibility screen, which
+	// names the culprits so the DBA can drop or soften them.
+	bad := cophy.FractionOfData(cat, 1)
+	bad.Items = []cophy.Item{
+		cophy.Count{Name: "need-too-many", Filter: cophy.OnTable("lineitem"), Sense: lp.GE, V: 1e6},
+	}
+	res, err = ad.Recommend(w, s, bad)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("deliberately impossible constraint →  infeasible:", res.Infeasible, "; report:", res.Violated)
+}

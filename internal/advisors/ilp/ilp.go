@@ -1,0 +1,243 @@
+// Package ilp implements the ILP baseline of the paper's evaluation
+// (§5.3): the BIP formulation of Papadomanolakis & Ailamaki, which
+// assigns one variable per *atomic configuration* rather than per
+// index. Because the number of atomic configurations grows with
+// Π|S_i|, the technique must enumerate and prune configurations per
+// query before the solver runs — and that build phase dominates its
+// running time (Figures 5 and 10). Per the paper's fair-comparison
+// setup, this implementation shares CoPhy's INUM cache (so what-if
+// costs are equally cheap) and the same underlying solver.
+package ilp
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/engine"
+	"repro/internal/inum"
+	"repro/internal/lagrange"
+	"repro/internal/workload"
+)
+
+// Options tune the ILP advisor.
+type Options struct {
+	// PerTable caps the candidate indexes considered per (query,
+	// table) during enumeration (default 8).
+	PerTable int
+	// PerQuery caps the atomic configurations kept per query after
+	// pruning by cost (default 20) — the pruning of [13] that keeps
+	// the per-configuration BIP tractable.
+	PerQuery int
+	// GapTol is the solver stopping gap (default 0.05).
+	GapTol float64
+	// RootIters / MaxNodes bound the solver.
+	RootIters, MaxNodes int
+}
+
+// Advisor is the ILP baseline.
+type Advisor struct {
+	Cat  *catalog.Catalog
+	Eng  *engine.Engine
+	Inum *inum.Cache
+	Opts Options
+}
+
+// New builds the advisor sharing an existing INUM cache (pass nil to
+// create a fresh one).
+func New(cat *catalog.Catalog, eng *engine.Engine, cache *inum.Cache, opts Options) *Advisor {
+	if opts.PerTable <= 0 {
+		opts.PerTable = 8
+	}
+	if opts.PerQuery <= 0 {
+		opts.PerQuery = 20
+	}
+	if opts.GapTol <= 0 {
+		opts.GapTol = 0.05
+	}
+	if cache == nil {
+		cache = inum.New(eng)
+	}
+	return &Advisor{Cat: cat, Eng: eng, Inum: cache, Opts: opts}
+}
+
+// Result mirrors the CoPhy result shape: recommendation plus the
+// INUM/build/solve breakdown.
+type Result struct {
+	Indexes   []*catalog.Index
+	EstCost   float64
+	Gap       float64
+	INUMTime  time.Duration
+	BuildTime time.Duration
+	SolveTime time.Duration
+	// Configs is the total number of atomic configurations enumerated
+	// (before pruning), the quantity that explodes with |S|.
+	Configs int
+}
+
+// Total returns the end-to-end time.
+func (r *Result) Total() time.Duration { return r.INUMTime + r.BuildTime + r.SolveTime }
+
+// config is one atomic configuration under evaluation.
+type config struct {
+	indexes []int32 // positions into S
+	cost    float64
+}
+
+// Recommend runs the ILP pipeline: INUM preparation, per-query atomic
+// configuration enumeration + pruning, per-configuration BIP
+// construction, solve.
+func (ad *Advisor) Recommend(w *workload.Workload, s []*catalog.Index, budgetBytes float64) (*Result, error) {
+	t0 := time.Now()
+	ad.Inum.Prepare(w)
+	inumTime := time.Since(t0)
+
+	t1 := time.Now()
+	baseline := engine.NewConfig()
+	for _, t := range ad.Cat.Tables() {
+		if len(t.PK) > 0 {
+			baseline.Add(&catalog.Index{Table: t.Name, Key: append([]string(nil), t.PK...), Clustered: true})
+		}
+	}
+
+	m := lagrange.NewModel(len(s))
+	// Atomic configurations contain distinct indexes, one per table.
+	m.DistinctPerChoice = true
+	for i, ix := range s {
+		t := ad.Cat.Table(ix.Table)
+		m.Size[i] = float64(ix.Bytes(t))
+	}
+	for _, st := range w.Updates() {
+		u := st.Update
+		m.Const += st.Weight * ad.Eng.BaseUpdateCost(u)
+		for i, ix := range s {
+			if c := ad.Eng.UpdateCost(u, ix); c > 0 {
+				m.FixedCost[i] += st.Weight * c
+			}
+		}
+	}
+	m.Budget = budgetBytes
+
+	totalConfigs := 0
+	for _, st := range w.Queries() {
+		q := st.Query
+		configs := ad.enumerate(q, s, baseline)
+		totalConfigs += len(configs)
+		// Prune to the cheapest PerQuery configurations; always keep
+		// the empty configuration so the model stays feasible.
+		sort.Slice(configs, func(i, j int) bool { return configs[i].cost < configs[j].cost })
+		if len(configs) > ad.Opts.PerQuery {
+			configs = configs[:ad.Opts.PerQuery]
+		}
+		hasEmpty := false
+		for _, c := range configs {
+			if len(c.indexes) == 0 {
+				hasEmpty = true
+				break
+			}
+		}
+		if !hasEmpty {
+			if empty, err := ad.Inum.Cost(q, baseline); err == nil {
+				configs = append(configs, config{cost: empty})
+			}
+		}
+		blk := lagrange.Block{Weight: st.Weight}
+		for _, c := range configs {
+			ch := lagrange.Choice{Fixed: c.cost}
+			for _, a := range c.indexes {
+				ch.Slots = append(ch.Slots, lagrange.Slot{{Index: a, Cost: 0}})
+			}
+			blk.Choices = append(blk.Choices, ch)
+		}
+		m.Blocks = append(m.Blocks, blk)
+	}
+	buildTime := time.Since(t1)
+
+	t2 := time.Now()
+	lr := lagrange.Solve(m, lagrange.Options{
+		GapTol:    ad.Opts.GapTol,
+		RootIters: ad.Opts.RootIters,
+		MaxNodes:  ad.Opts.MaxNodes,
+	})
+	solveTime := time.Since(t2)
+
+	res := &Result{
+		EstCost:   lr.Objective,
+		Gap:       lr.Gap,
+		INUMTime:  inumTime,
+		BuildTime: buildTime,
+		SolveTime: solveTime,
+		Configs:   totalConfigs,
+	}
+	for i, on := range lr.Selected {
+		if on {
+			res.Indexes = append(res.Indexes, s[i])
+		}
+	}
+	catalog.SortIndexes(res.Indexes)
+	return res, nil
+}
+
+// enumerate builds the atomic configurations of one query: the
+// cartesian product of per-table shortlists (plus "no index" per
+// table), each costed through INUM. This enumeration is ILP's
+// signature expense.
+func (ad *Advisor) enumerate(q *workload.Query, s []*catalog.Index, baseline *engine.Config) []config {
+	// Shortlist per referenced table: candidates ranked by their
+	// single-index benefit.
+	type ranked struct {
+		pos     int32
+		benefit float64
+	}
+	base, err := ad.Inum.Cost(q, baseline)
+	if err != nil {
+		return []config{{cost: math.Inf(1)}}
+	}
+	perTable := make([][]ranked, len(q.Tables))
+	for ti, table := range q.Tables {
+		var list []ranked
+		for i, ix := range s {
+			if ix.Table != table {
+				continue
+			}
+			cfg := baseline.Union(engine.NewConfig(ix))
+			c, err := ad.Inum.Cost(q, cfg)
+			if err != nil {
+				continue
+			}
+			if b := base - c; b > 1e-9 {
+				list = append(list, ranked{pos: int32(i), benefit: b})
+			}
+		}
+		sort.Slice(list, func(i, j int) bool { return list[i].benefit > list[j].benefit })
+		if len(list) > ad.Opts.PerTable {
+			list = list[:ad.Opts.PerTable]
+		}
+		perTable[ti] = list
+	}
+
+	// Cartesian product (index or none per table), costed via INUM.
+	var out []config
+	var walk func(ti int, chosen []int32, cfg *engine.Config)
+	walk = func(ti int, chosen []int32, cfg *engine.Config) {
+		if len(out) >= 4096 {
+			return // enumeration guard for pathological queries
+		}
+		if ti == len(q.Tables) {
+			c, err := ad.Inum.Cost(q, cfg)
+			if err != nil {
+				return
+			}
+			out = append(out, config{indexes: append([]int32(nil), chosen...), cost: c})
+			return
+		}
+		walk(ti+1, chosen, cfg)
+		for _, r := range perTable[ti] {
+			next := cfg.Union(engine.NewConfig(s[r.pos]))
+			walk(ti+1, append(chosen, r.pos), next)
+		}
+	}
+	walk(0, nil, baseline)
+	return out
+}

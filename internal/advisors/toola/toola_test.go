@@ -1,0 +1,93 @@
+package toola
+
+import (
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/engine"
+	"repro/internal/tpch"
+	"repro/internal/workload"
+)
+
+func TestMergeIndexes(t *testing.T) {
+	a := &catalog.Index{Table: "t", Key: []string{"x", "y"}, Include: []string{"p"}}
+	b := &catalog.Index{Table: "t", Key: []string{"y", "z"}, Include: []string{"q"}}
+	m := mergeIndexes(a, b)
+	if got := m.ID(); got != "t(x,y,z) INCLUDE(p,q)" {
+		t.Fatalf("merged = %q", got)
+	}
+	// Merging with overlap between key and include drops duplicates.
+	c := &catalog.Index{Table: "t", Key: []string{"p"}}
+	m2 := mergeIndexes(a, c)
+	for _, inc := range m2.Include {
+		for _, k := range m2.Key {
+			if inc == k {
+				t.Fatalf("column %s duplicated across key and include", inc)
+			}
+		}
+	}
+}
+
+func TestPerQueryCandidatesIncludeCovering(t *testing.T) {
+	q := &workload.Query{
+		ID:     "t",
+		Tables: []string{"orders"},
+		Select: []catalog.ColumnRef{{Table: "orders", Column: "o_totalprice"}},
+		Preds: []workload.Predicate{
+			{Col: catalog.ColumnRef{Table: "orders", Column: "o_orderdate"}, Op: workload.OpRange, Lo: 0.1, Hi: 0.2},
+		},
+	}
+	cands := perQueryCandidates(q)
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	hasCovering := false
+	for _, ix := range cands {
+		if len(ix.Include) > 0 {
+			hasCovering = true
+		}
+	}
+	if !hasCovering {
+		t.Fatal("commercial tool model should propose a covering variant")
+	}
+}
+
+func TestRelaxationReducesToBudget(t *testing.T) {
+	cat := tpch.Build(tpch.Config{ScaleFactor: 0.05})
+	eng := engine.New(cat, engine.SystemA())
+	w := workload.Hom(workload.HomConfig{Queries: 10, Seed: 120})
+	ad := New(cat, eng, Options{WhatIfBudget: 15000})
+	budget := 0.1 * float64(cat.TotalBytes())
+	res, err := ad.Recommend(w, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var used float64
+	for _, ix := range res.Indexes {
+		used += float64(ix.Bytes(cat.Table(ix.Table)))
+	}
+	if used > budget {
+		t.Fatalf("relaxation failed: %v > %v", used, budget)
+	}
+}
+
+func TestLargerBudgetMoreWhatIfCalls(t *testing.T) {
+	// Tool-A's traffic scales with workload size — the Figure 4
+	// mechanism in miniature.
+	cat := tpch.Build(tpch.Config{ScaleFactor: 0.05})
+	eng := engine.New(cat, engine.SystemA())
+	small := workload.Hom(workload.HomConfig{Queries: 8, Seed: 121})
+	large := workload.Hom(workload.HomConfig{Queries: 24, Seed: 121})
+	budget := float64(cat.TotalBytes())
+	rs, err := New(cat, eng, Options{WhatIfBudget: 20000}).Recommend(small, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl, err := New(cat, eng, Options{WhatIfBudget: 20000}).Recommend(large, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rl.WhatIfCalls <= rs.WhatIfCalls {
+		t.Fatalf("calls should grow with workload: %d vs %d", rs.WhatIfCalls, rl.WhatIfCalls)
+	}
+}

@@ -1,0 +1,272 @@
+package cophy
+
+import (
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/engine"
+	"repro/internal/inum"
+	"repro/internal/lagrange"
+	"repro/internal/workload"
+)
+
+// Options tune the advisor.
+type Options struct {
+	// GapTol is the optimality-gap tolerance at which the solver
+	// returns; the paper's default tuning is 5% (§5.1).
+	GapTol float64
+	// RootIters / NodeIters / MaxNodes bound the solver's effort; zero
+	// values take the solver defaults.
+	RootIters, NodeIters, MaxNodes int
+	// TimeLimit caps the solve phase (0 = none).
+	TimeLimit time.Duration
+	// Progress receives bound events during solving — the feedback
+	// channel behind early termination (Figure 6a).
+	Progress func(lagrange.Event)
+}
+
+// Advisor is the CoPhy index advisor over one engine. The INUM cache
+// persists across calls, so repeated tuning sessions on the same
+// workload skip the optimizer entirely.
+type Advisor struct {
+	Cat  *catalog.Catalog
+	Eng  *engine.Engine
+	Inum *inum.Cache
+	Opts Options
+}
+
+// NewAdvisor builds an advisor with a fresh INUM cache.
+func NewAdvisor(cat *catalog.Catalog, eng *engine.Engine, opts Options) *Advisor {
+	if opts.GapTol <= 0 {
+		opts.GapTol = 0.05
+	}
+	return &Advisor{Cat: cat, Eng: eng, Inum: inum.New(eng), Opts: opts}
+}
+
+// Result is a tuning recommendation.
+type Result struct {
+	// Indexes is the recommended configuration X*.
+	Indexes []*catalog.Index
+	// Selected marks the chosen candidates positionally (aligned with
+	// the instance's S).
+	Selected []bool
+	// EstCost is the INUM-estimated workload cost under X*.
+	EstCost float64
+	// Lower is the proven lower bound on the optimal workload cost.
+	Lower float64
+	// Gap is the relative optimality gap at termination.
+	Gap float64
+	// Times is the INUM/build/solve breakdown of Figures 5 and 10.
+	Times Timings
+	// Trace holds the solver's bound events over time (Figure 6a).
+	Trace []lagrange.Event
+	// Infeasible is set when the hard constraints admit no solution;
+	// Violated then names the offending constraints (Figure 3 line 2).
+	Infeasible bool
+	Violated   []string
+	// Lambda is the solver's dual state, reusable for warm starts.
+	Lambda *lagrange.Multipliers
+}
+
+// Recommend runs one full tuning session: INUM preparation, BIP
+// construction, feasibility check, Lagrangian relaxation and solve.
+func (ad *Advisor) Recommend(w *workload.Workload, s []*catalog.Index, cons Constraints) (*Result, error) {
+	inst := ad.instance(w, s)
+
+	t0 := time.Now()
+	ad.Inum.Prepare(w)
+	inumTime := time.Since(t0)
+
+	t1 := time.Now()
+	model, err := BuildModel(inst)
+	if err != nil {
+		return nil, err
+	}
+	if err := applyConstraints(inst, model, cons); err != nil {
+		return nil, err
+	}
+	buildTime := time.Since(t1)
+
+	res, solveTime := ad.solve(inst, model, nil, nil)
+	res.Times = Timings{INUM: inumTime, Build: buildTime, Solve: solveTime}
+	return res, nil
+}
+
+// instance assembles the problem instance with the baseline X0.
+func (ad *Advisor) instance(w *workload.Workload, s []*catalog.Index) *Instance {
+	base := engine.NewConfig()
+	for _, t := range ad.Cat.Tables() {
+		if len(t.PK) > 0 {
+			base.Add(&catalog.Index{Table: t.Name, Key: append([]string(nil), t.PK...), Clustered: true})
+		}
+	}
+	return &Instance{Cat: ad.Cat, Eng: ad.Eng, Inum: ad.Inum, Workload: w, S: s, Baseline: base}
+}
+
+// solve runs Figure 3: feasibility screen, relax(B) (inside the
+// Lagrangian solver) and the bounded search, stopping at the advisor's
+// gap tolerance.
+func (ad *Advisor) solve(inst *Instance, model *lagrange.Model, warm *lagrange.Multipliers, start []bool) (*Result, time.Duration) {
+	return ad.solveWith(inst, model, warm, start, ad.Opts.GapTol)
+}
+
+// solveWith is solve with an explicit gap tolerance; warm re-solves
+// relax it to the gap the DBA already accepted in the previous session.
+func (ad *Advisor) solveWith(inst *Instance, model *lagrange.Model, warm *lagrange.Multipliers, start []bool, gapTol float64) (*Result, time.Duration) {
+	t := time.Now()
+	var trace []lagrange.Event
+	progress := func(e lagrange.Event) {
+		trace = append(trace, e)
+		if ad.Opts.Progress != nil {
+			ad.Opts.Progress(e)
+		}
+	}
+	if ok, _ := model.CheckFeasible(); !ok {
+		return &Result{
+			Infeasible: true,
+			Violated:   model.IdentifyInfeasible(),
+		}, time.Since(t)
+	}
+	lr := lagrange.Solve(model, lagrange.Options{
+		GapTol:    gapTol,
+		RootIters: ad.Opts.RootIters,
+		NodeIters: ad.Opts.NodeIters,
+		MaxNodes:  ad.Opts.MaxNodes,
+		TimeLimit: ad.Opts.TimeLimit,
+		Warm:      warm,
+		Start:     start,
+		Progress:  progress,
+	})
+	solveTime := time.Since(t)
+	if lr.Infeasible {
+		// The z polytope is feasible but no selection satisfies the
+		// per-statement cost caps (Appendix E.2 constraints).
+		return &Result{
+			Infeasible: true,
+			Violated:   []string{"query-cost-constraints"},
+			Trace:      trace,
+		}, solveTime
+	}
+	res := &Result{
+		Selected: lr.Selected,
+		EstCost:  lr.Objective,
+		Lower:    lr.Lower,
+		Gap:      lr.Gap,
+		Trace:    trace,
+		Lambda:   lr.Lambda,
+	}
+	for i, on := range lr.Selected {
+		if on {
+			res.Indexes = append(res.Indexes, inst.S[i])
+		}
+	}
+	catalog.SortIndexes(res.Indexes)
+	return res, solveTime
+}
+
+// Config returns the recommendation as an engine configuration,
+// including the baseline clustered indexes, ready for ground-truth
+// evaluation with the what-if optimizer.
+func (ad *Advisor) Config(res *Result) *engine.Config {
+	cfg := engine.NewConfig()
+	for _, t := range ad.Cat.Tables() {
+		if len(t.PK) > 0 {
+			cfg.Add(&catalog.Index{Table: t.Name, Key: append([]string(nil), t.PK...), Clustered: true})
+		}
+	}
+	for _, ix := range res.Indexes {
+		cfg.Add(ix)
+	}
+	return cfg
+}
+
+// Session supports interactive tuning (§4.2): the DBA tweaks the
+// candidate set or constraints and re-solves; the session reuses the
+// INUM cache, the γ memos, the previous incumbent as a MIP start and
+// the previous multipliers as a dual warm start, which is what makes
+// the revised recommendation roughly an order of magnitude cheaper
+// than the initial one (Figure 6b).
+type Session struct {
+	ad   *Advisor
+	w    *workload.Workload
+	cons Constraints
+	s    []*catalog.Index
+	last *Result
+}
+
+// NewSession starts an interactive session.
+func (ad *Advisor) NewSession(w *workload.Workload, s []*catalog.Index, cons Constraints) *Session {
+	return &Session{ad: ad, w: w, cons: cons, s: append([]*catalog.Index(nil), s...)}
+}
+
+// Candidates returns the session's current candidate set.
+func (se *Session) Candidates() []*catalog.Index { return se.s }
+
+// AddCandidates appends candidates to S (deduplicating), the
+// incremental exploration of §4.2. Existing candidates keep their
+// positions, so multipliers and incumbents carry over.
+func (se *Session) AddCandidates(delta []*catalog.Index) {
+	have := make(map[string]bool, len(se.s))
+	for _, ix := range se.s {
+		have[ix.ID()] = true
+	}
+	for _, ix := range delta {
+		if !have[ix.ID()] {
+			have[ix.ID()] = true
+			se.s = append(se.s, ix)
+		}
+	}
+}
+
+// SetConstraints replaces the session's constraint set for the next
+// solve.
+func (se *Session) SetConstraints(cons Constraints) { se.cons = cons }
+
+// Solve computes (or recomputes) the recommendation. The first call
+// pays INUM preparation and a cold solve; later calls are warm.
+func (se *Session) Solve() (*Result, error) {
+	ad := se.ad
+	inst := ad.instance(se.w, se.s)
+
+	t0 := time.Now()
+	ad.Inum.Prepare(se.w)
+	inumTime := time.Since(t0)
+
+	t1 := time.Now()
+	model, err := BuildModel(inst)
+	if err != nil {
+		return nil, err
+	}
+	if err := applyConstraints(inst, model, se.cons); err != nil {
+		return nil, err
+	}
+	buildTime := time.Since(t1)
+
+	var warm *lagrange.Multipliers
+	var start []bool
+	gapTol := ad.Opts.GapTol
+	if se.last != nil && !se.last.Infeasible {
+		warm = se.last.Lambda
+		start = make([]bool, len(se.s))
+		copy(start, se.last.Selected) // appended candidates start off
+		// Stop once the revision is as tight as the solution the DBA
+		// already accepted: with the repriced warm duals this is
+		// usually reached almost immediately, the computation-reuse
+		// effect of Figure 6(b).
+		if g := se.last.Gap * 1.02; g > gapTol {
+			gapTol = g
+		}
+	}
+	res, solveTime := ad.solveWith(inst, model, warm, start, gapTol)
+	res.Times = Timings{INUM: inumTime, Build: buildTime, Solve: solveTime}
+	if !res.Infeasible {
+		se.last = res
+	}
+	return res, nil
+}
+
+// InstanceForTest exposes instance construction for diagnostics and
+// white-box tests.
+func InstanceForTest(ad *Advisor, w *workload.Workload, s []*catalog.Index) *Instance {
+	return ad.instance(w, s)
+}

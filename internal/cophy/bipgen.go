@@ -1,0 +1,235 @@
+package cophy
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/bip"
+	"repro/internal/catalog"
+	"repro/internal/engine"
+	"repro/internal/inum"
+	"repro/internal/lagrange"
+	"repro/internal/lp"
+	"repro/internal/workload"
+)
+
+// Instance bundles one index-tuning problem: the workload, the
+// candidate set S, the INUM cache providing the linearly composable
+// cost function, and the baseline configuration X0 (the clustered
+// primary-key indexes that are always present, cost nothing and do not
+// count against the storage budget).
+type Instance struct {
+	Cat      *catalog.Catalog
+	Eng      *engine.Engine
+	Inum     *inum.Cache
+	Workload *workload.Workload
+	S        []*catalog.Index
+	Baseline *engine.Config
+}
+
+// BuildModel implements BIPGen: it compiles the instance into the
+// structured BIP of Theorem 1. Per query q and template plan k it
+// emits one choice with fixed cost β_qk whose slots carry one option
+// per compatible candidate (cost γ_qkia), plus the I∅ option priced as
+// the best always-available access (heap scan or baseline clustered
+// index). Candidate update-maintenance costs become the z_a objective
+// coefficients, base-tuple update costs the constant term.
+//
+// BuildTime in the advisor's breakdown measures this function; its
+// cheapness relative to ILP's configuration enumeration is the heart
+// of Figure 5.
+func BuildModel(inst *Instance) (*lagrange.Model, error) {
+	m := lagrange.NewModel(len(inst.S))
+	// Slots within one template access distinct tables, so an index
+	// never fills two slots of one choice — the solver may aggregate
+	// its multipliers per query for a stronger relax(B) bound.
+	m.DistinctPerChoice = true
+	pos := make(map[string]int32, len(inst.S))
+	for i, ix := range inst.S {
+		pos[ix.ID()] = int32(i)
+		t := inst.Cat.Table(ix.Table)
+		if t == nil {
+			return nil, fmt.Errorf("cophy: candidate %s references unknown table", ix.ID())
+		}
+		m.Size[i] = float64(ix.Bytes(t))
+	}
+
+	// Update costs: FixedCost[a] = Σ_u f_u·ucost(a,u); Const gathers
+	// the index-independent base-tuple costs.
+	for _, s := range inst.Workload.Updates() {
+		u := s.Update
+		m.Const += s.Weight * inst.Eng.BaseUpdateCost(u)
+		for i, ix := range inst.S {
+			if c := inst.Eng.UpdateCost(u, ix); c > 0 {
+				m.FixedCost[i] += s.Weight * c
+			}
+		}
+	}
+
+	// Query blocks from the INUM templates.
+	for _, s := range inst.Workload.Queries() {
+		q := s.Query
+		qi := inst.Inum.PrepareQuery(q)
+		if len(qi.Templates) == 0 {
+			return nil, fmt.Errorf("cophy: no templates for %s", q.ID)
+		}
+		blk := lagrange.Block{Weight: s.Weight}
+		for ti, tpl := range qi.Templates {
+			ch := lagrange.Choice{Fixed: tpl.Internal}
+			feasible := true
+			for si := range tpl.Slots {
+				slot := inst.slotOptions(qi, ti, si, pos)
+				if len(slot) == 0 {
+					feasible = false
+					break
+				}
+				ch.Slots = append(ch.Slots, slot)
+			}
+			if feasible {
+				blk.Choices = append(blk.Choices, ch)
+			}
+		}
+		if len(blk.Choices) == 0 {
+			return nil, fmt.Errorf("cophy: no feasible choice for %s", q.ID)
+		}
+		m.Blocks = append(m.Blocks, blk)
+	}
+	return m, nil
+}
+
+// slotOptions prices one template slot: the free option (I∅ or a
+// baseline index) plus one option per compatible candidate on the
+// slot's table.
+func (inst *Instance) slotOptions(qi *inum.QueryInfo, ti, si int, pos map[string]int32) lagrange.Slot {
+	tpl := qi.Templates[ti]
+	table := tpl.Slots[si].Table
+	var slot lagrange.Slot
+
+	// Free option: the cheapest always-available access method.
+	free := math.Inf(1)
+	if g, ok := inst.Inum.Gamma(qi, ti, si, nil); ok {
+		free = g
+	}
+	for _, bx := range inst.Baseline.OnTable(table) {
+		if g, ok := inst.Inum.Gamma(qi, ti, si, bx); ok && g < free {
+			free = g
+		}
+	}
+	if !math.IsInf(free, 1) {
+		slot = append(slot, lagrange.Option{Index: lagrange.NoIndex, Cost: free})
+	}
+
+	for _, ix := range inst.S {
+		if ix.Table != table {
+			continue
+		}
+		if g, ok := inst.Inum.Gamma(qi, ti, si, ix); ok {
+			// An option is useful only if it can beat the free one.
+			if g < free {
+				slot = append(slot, lagrange.Option{Index: pos[ix.ID()], Cost: g})
+			}
+		}
+	}
+	return slot
+}
+
+// BuildExplicitBIP constructs the BIP of Theorem 1 literally — one
+// binary y_{qk} per template, one x_{qkia} per slot option, one z_a
+// per candidate — over the generic lp/bip substrate. It exists to
+// validate the theorem (the structured solver and this program must
+// agree) and to solve small constraint-rich instances exactly. For a
+// model with B blocks it allocates Σ options + Σ templates + |S|
+// variables, so keep instances small.
+func BuildExplicitBIP(m *lagrange.Model) (bip.Model, []int) {
+	// Count variables.
+	nz := m.NumIndexes
+	ny, nx := 0, 0
+	for bi := range m.Blocks {
+		ny += len(m.Blocks[bi].Choices)
+		for ci := range m.Blocks[bi].Choices {
+			for _, s := range m.Blocks[bi].Choices[ci].Slots {
+				nx += len(s)
+			}
+		}
+	}
+	p := lp.NewProblem(nz + ny + nx)
+	bins := make([]int, 0, nz+ny+nx)
+
+	// z variables first.
+	for a := 0; a < nz; a++ {
+		p.SetObj(a, m.FixedCost[a])
+		p.SetBounds(a, 0, 1)
+		bins = append(bins, a)
+	}
+	yBase := nz
+	xBase := nz + ny
+
+	yi, xi := 0, 0
+	for bi := range m.Blocks {
+		blk := &m.Blocks[bi]
+		var yRow []lp.Coef
+		for ci := range blk.Choices {
+			ch := &blk.Choices[ci]
+			yVar := yBase + yi
+			yi++
+			p.SetObj(yVar, blk.Weight*ch.Fixed)
+			p.SetBounds(yVar, 0, 1)
+			bins = append(bins, yVar)
+			yRow = append(yRow, lp.Coef{Col: yVar, Val: 1})
+			for _, s := range ch.Slots {
+				// Σ_a x = y  (assignment row per slot).
+				row := []lp.Coef{{Col: yVar, Val: -1}}
+				for _, o := range s {
+					xVar := xBase + xi
+					xi++
+					p.SetObj(xVar, blk.Weight*o.Cost)
+					p.SetBounds(xVar, 0, 1)
+					bins = append(bins, xVar)
+					row = append(row, lp.Coef{Col: xVar, Val: 1})
+					if o.Index != lagrange.NoIndex {
+						// z_a ≥ x.
+						p.AddRow([]lp.Coef{{Col: int(o.Index), Val: 1}, {Col: xVar, Val: -1}}, lp.GE, 0)
+					}
+				}
+				p.AddRow(row, lp.EQ, 0)
+			}
+		}
+		// Σ_k y = 1.
+		p.AddRow(yRow, lp.EQ, 1)
+	}
+
+	// Storage budget and side constraints.
+	if m.Budget >= 0 {
+		var row []lp.Coef
+		for a := 0; a < nz; a++ {
+			if m.Size[a] != 0 {
+				row = append(row, lp.Coef{Col: a, Val: m.Size[a]})
+			}
+		}
+		p.AddRow(row, lp.LE, m.Budget)
+	}
+	for _, c := range m.Extra {
+		var row []lp.Coef
+		for _, t := range c.Terms {
+			row = append(row, lp.Coef{Col: int(t.Index), Val: t.Coef})
+		}
+		p.AddRow(row, c.Sense, c.RHS)
+	}
+	zVars := make([]int, nz)
+	for a := range zVars {
+		zVars[a] = a
+	}
+	return bip.Model{P: p, Binaries: bins}, zVars
+}
+
+// Timings is the per-phase breakdown the paper's Figures 5 and 10
+// report: INUM cache population, BIP construction and solving.
+type Timings struct {
+	INUM  time.Duration
+	Build time.Duration
+	Solve time.Duration
+}
+
+// Total returns the end-to-end advisor time.
+func (t Timings) Total() time.Duration { return t.INUM + t.Build + t.Solve }

@@ -1,0 +1,196 @@
+package cophy
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/engine"
+	"repro/internal/lagrange"
+	"repro/internal/tpch"
+	"repro/internal/workload"
+)
+
+// buildSmallModel compiles a small instance for white-box checks.
+func buildSmallModel(t *testing.T, queries int, seed int64) (*Advisor, *Instance, *lagrange.Model) {
+	t.Helper()
+	cat := tpch.Build(tpch.Config{ScaleFactor: 0.05})
+	eng := engine.New(cat, engine.SystemA())
+	ad := NewAdvisor(cat, eng, Options{})
+	w := workload.Hom(workload.HomConfig{Queries: queries, UpdateFraction: 0.2, Seed: seed})
+	s := Candidates(cat, w, CGenOptions{Covering: true})
+	inst := ad.instance(w, s)
+	ad.Inum.Prepare(w)
+	m, err := BuildModel(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ad, inst, m
+}
+
+func TestBuildModelShape(t *testing.T) {
+	_, inst, m := buildSmallModel(t, 12, 100)
+	if m.NumIndexes != len(inst.S) {
+		t.Fatalf("index vars = %d, candidates = %d", m.NumIndexes, len(inst.S))
+	}
+	queries := inst.Workload.Queries()
+	if len(m.Blocks) != len(queries) {
+		t.Fatalf("blocks = %d, queries(+shells) = %d", len(m.Blocks), len(queries))
+	}
+	if !m.DistinctPerChoice {
+		t.Fatal("CoPhy models must assert DistinctPerChoice")
+	}
+	// Sizes positive; every block has a choice evaluable with I∅ only.
+	for a := 0; a < m.NumIndexes; a++ {
+		if m.Size[a] <= 0 {
+			t.Fatalf("candidate %d has size %v", a, m.Size[a])
+		}
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Update statements must contribute fixed costs on affected
+	// candidates and a positive constant.
+	if m.Const <= 0 {
+		t.Fatal("base-tuple update costs missing from Const")
+	}
+	anyFixed := false
+	for _, f := range m.FixedCost {
+		if f < 0 {
+			t.Fatal("negative fixed cost")
+		}
+		if f > 0 {
+			anyFixed = true
+		}
+	}
+	if !anyFixed {
+		t.Fatal("no candidate carries update-maintenance cost despite updates in W")
+	}
+}
+
+func TestModelEvalMatchesINUM(t *testing.T) {
+	// The model's Evaluate must agree with the INUM workload cost for
+	// the same selection (both measure Σ f_q · cost(q, X) + updates).
+	ad, inst, m := buildSmallModel(t, 10, 101)
+	sel := make([]bool, m.NumIndexes)
+	for i := 0; i < len(sel); i += 3 {
+		sel[i] = true
+	}
+	got, ok := m.Evaluate(sel)
+	if !ok {
+		t.Fatal("Evaluate failed")
+	}
+	cfg := inst.Baseline.Union(nil)
+	for i, on := range sel {
+		if on {
+			cfg.Add(inst.S[i])
+		}
+	}
+	want, err := ad.Inum.WorkloadCost(inst.Workload, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The model omits options that cannot beat the free access, so it
+	// may sit slightly above the unrestricted INUM cost; never below.
+	if got < want*(1-1e-9) {
+		t.Fatalf("model eval %v below INUM cost %v", got, want)
+	}
+	if got > want*1.02+1e-6 {
+		t.Fatalf("model eval %v too far above INUM cost %v", got, want)
+	}
+}
+
+func TestExplicitBIPVariableCount(t *testing.T) {
+	_, _, m := buildSmallModel(t, 6, 102)
+	em, zVars := BuildExplicitBIP(m)
+	if len(zVars) != m.NumIndexes {
+		t.Fatalf("z vars = %d", len(zVars))
+	}
+	// Theorem 1: variable count is z + y + x.
+	ny, nx := 0, 0
+	for bi := range m.Blocks {
+		ny += len(m.Blocks[bi].Choices)
+		for ci := range m.Blocks[bi].Choices {
+			for _, s := range m.Blocks[bi].Choices[ci].Slots {
+				nx += len(s)
+			}
+		}
+	}
+	if em.P.Cols() != m.NumIndexes+ny+nx {
+		t.Fatalf("cols = %d, want %d", em.P.Cols(), m.NumIndexes+ny+nx)
+	}
+	if len(em.Binaries) != em.P.Cols() {
+		t.Fatal("all variables must be binary")
+	}
+}
+
+func TestFreeOptionNeverWorseThanBaselineCost(t *testing.T) {
+	// With nothing selected, every block must price at its baseline
+	// INUM cost (the free options encode I∅ and the clustered PKs).
+	ad, inst, m := buildSmallModel(t, 10, 103)
+	empty := make([]bool, m.NumIndexes)
+	for bi, st := range inst.Workload.Queries() {
+		v, ok := mBlockPrimal(m, bi, empty)
+		if !ok {
+			t.Fatalf("block %d not evaluable empty", bi)
+		}
+		base, err := ad.Inum.Cost(st.Query, inst.Baseline)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(v-base) > 1e-6*base {
+			t.Fatalf("block %d empty value %v != baseline INUM %v", bi, v, base)
+		}
+	}
+}
+
+// mBlockPrimal evaluates one block of the model under a selection via
+// the public Evaluate on a single-block copy.
+func mBlockPrimal(m *lagrange.Model, bi int, sel []bool) (float64, bool) {
+	single := lagrange.NewModel(m.NumIndexes)
+	single.DistinctPerChoice = m.DistinctPerChoice
+	copy(single.Size, m.Size)
+	single.Blocks = []lagrange.Block{m.Blocks[bi]}
+	v, ok := single.Evaluate(sel)
+	return v, ok
+}
+
+func TestConfigHelper(t *testing.T) {
+	cat := tpch.Build(tpch.Config{ScaleFactor: 0.05})
+	eng := engine.New(cat, engine.SystemA())
+	ad := NewAdvisor(cat, eng, Options{})
+	res := &Result{Indexes: []*catalog.Index{{Table: "orders", Key: []string{"o_orderdate"}}}}
+	cfg := ad.Config(res)
+	// Baseline clustered PKs (8 tables) + the one recommendation.
+	if cfg.Size() != 9 {
+		t.Fatalf("config size = %d, want 9", cfg.Size())
+	}
+}
+
+func TestSoftSweepNormalization(t *testing.T) {
+	// With the cost/byte normalization, intermediate λ values must
+	// produce intermediate storage footprints, not all-or-nothing.
+	cat := tpch.Build(tpch.Config{ScaleFactor: 0.05})
+	eng := engine.New(cat, engine.SystemA())
+	ad := NewAdvisor(cat, eng, Options{GapTol: 0.03, RootIters: 200, MaxNodes: 32})
+	w := workload.Hom(workload.HomConfig{Queries: 30, Seed: 104})
+	s := Candidates(cat, w, CGenOptions{Covering: true})
+	points, _, err := ad.SoftStorageSweep(w, s, NoConstraints(), 0, []float64{0, 0.5, 0.9, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if points[0].SizeBytes != 0 {
+		t.Fatal("λ=0 must select nothing")
+	}
+	last := points[len(points)-1]
+	if last.SizeBytes <= 0 {
+		t.Fatal("λ=1 must select indexes")
+	}
+	mid := points[2] // λ=0.9
+	if !(mid.SizeBytes > 0) {
+		t.Fatalf("λ=0.9 selected nothing — normalization broken (sizes %v)", []float64{points[0].SizeBytes, points[1].SizeBytes, mid.SizeBytes, last.SizeBytes})
+	}
+	if mid.Cost < last.Cost*(1-1e-9) {
+		t.Fatalf("λ=0.9 cost (%v) cannot beat λ=1 cost (%v)", mid.Cost, last.Cost)
+	}
+}

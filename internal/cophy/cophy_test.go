@@ -1,0 +1,438 @@
+package cophy
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bip"
+	"repro/internal/catalog"
+	"repro/internal/engine"
+	"repro/internal/lagrange"
+	"repro/internal/lp"
+	"repro/internal/tpch"
+	"repro/internal/workload"
+)
+
+func testAdvisor(t *testing.T) (*Advisor, *catalog.Catalog, *engine.Engine) {
+	t.Helper()
+	cat := tpch.Build(tpch.Config{ScaleFactor: 0.05})
+	eng := engine.New(cat, engine.SystemA())
+	ad := NewAdvisor(cat, eng, Options{GapTol: 0.02, RootIters: 150, MaxNodes: 60})
+	return ad, cat, eng
+}
+
+func TestCandidatesGeneration(t *testing.T) {
+	_, cat, _ := testAdvisor(t)
+	w := workload.Hom(workload.HomConfig{Queries: 60, Seed: 70})
+	s := Candidates(cat, w, CGenOptions{Covering: true})
+	if len(s) < 30 {
+		t.Fatalf("only %d candidates generated", len(s))
+	}
+	seen := map[string]bool{}
+	covering := 0
+	for _, ix := range s {
+		if seen[ix.ID()] {
+			t.Fatalf("duplicate candidate %s", ix.ID())
+		}
+		seen[ix.ID()] = true
+		if cat.Table(ix.Table) == nil {
+			t.Fatalf("candidate on unknown table %s", ix.Table)
+		}
+		for _, k := range ix.Key {
+			if cat.Table(ix.Table).Column(k) == nil {
+				t.Fatalf("candidate %s has unknown key column", ix.ID())
+			}
+		}
+		if len(ix.Include) > 0 {
+			covering++
+		}
+	}
+	if covering == 0 {
+		t.Fatal("no covering candidates generated")
+	}
+	// Determinism.
+	s2 := Candidates(cat, w, CGenOptions{Covering: true})
+	if len(s) != len(s2) {
+		t.Fatal("candidate generation not deterministic")
+	}
+	for i := range s {
+		if s[i].ID() != s2[i].ID() {
+			t.Fatal("candidate order not deterministic")
+		}
+	}
+}
+
+func TestCandidatesDBAMerged(t *testing.T) {
+	_, cat, _ := testAdvisor(t)
+	w := workload.Hom(workload.HomConfig{Queries: 15, Seed: 71})
+	dba := &catalog.Index{Table: "region", Key: []string{"r_name"}}
+	s := Candidates(cat, w, CGenOptions{DBA: []*catalog.Index{dba}})
+	found := false
+	for _, ix := range s {
+		if ix.ID() == dba.ID() {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("S_DBA candidate missing from union")
+	}
+}
+
+func TestRandomIndexes(t *testing.T) {
+	_, cat, _ := testAdvisor(t)
+	s := RandomIndexes(cat, 200, 1)
+	if len(s) != 200 {
+		t.Fatalf("generated %d random indexes, want 200", len(s))
+	}
+	s2 := RandomIndexes(cat, 200, 1)
+	for i := range s {
+		if s[i].ID() != s2[i].ID() {
+			t.Fatal("random index generation not seed-deterministic")
+		}
+	}
+}
+
+// TestTheorem1Equivalence is the core validation of the paper's main
+// result: the structured model solved by the Lagrangian solver and the
+// explicit BIP of Theorem 1 solved by the generic branch-and-bound
+// must agree on the optimum.
+func TestTheorem1Equivalence(t *testing.T) {
+	ad, cat, _ := testAdvisor(t)
+	w := workload.Hom(workload.HomConfig{Queries: 4, Seed: 72})
+	s := Candidates(cat, w, CGenOptions{MaxKeyCols: 2})
+	if len(s) > 12 {
+		s = s[:12] // keep the explicit BIP small
+	}
+	inst := ad.instance(w, s)
+	ad.Inum.Prepare(w)
+	model, err := BuildModel(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model.Budget = 0.4 * float64(cat.TotalBytes())
+
+	// Structured solve, driven to (near) optimality.
+	lr := lagrange.Solve(model, lagrange.Options{GapTol: 1e-9, RootIters: 600, MaxNodes: 2000})
+	if lr.Infeasible {
+		t.Fatal("structured model infeasible")
+	}
+
+	// Explicit Theorem-1 BIP.
+	em, _ := BuildExplicitBIP(model)
+	r := bip.Solve(em, bip.Options{GapTol: 1e-9, MaxNodes: 20000})
+	if r.Status == bip.Infeasible {
+		t.Fatal("explicit BIP infeasible")
+	}
+	explicit := r.Obj + model.Const
+
+	if lr.Objective > explicit*1.000001+1e-6 {
+		t.Fatalf("Theorem 1 violated: structured optimum %v worse than explicit BIP optimum %v (gap %v)",
+			lr.Objective, explicit, lr.Gap)
+	}
+	if lr.Objective < explicit*(1-1e-6)-1e-6 {
+		t.Fatalf("structured objective %v below the explicit BIP optimum %v — a model mismatch", lr.Objective, explicit)
+	}
+}
+
+func TestRecommendImprovesWorkload(t *testing.T) {
+	ad, cat, eng := testAdvisor(t)
+	w := workload.Hom(workload.HomConfig{Queries: 45, Seed: 73})
+	s := Candidates(cat, w, CGenOptions{Covering: true})
+	res, err := ad.Recommend(w, s, FractionOfData(cat, 1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Infeasible {
+		t.Fatal("unexpectedly infeasible")
+	}
+	if len(res.Indexes) == 0 {
+		t.Fatal("no indexes recommended")
+	}
+	// Ground-truth comparison via the what-if optimizer.
+	base := engine.NewConfig(tpch.BaselineIndexes(cat)...)
+	baseCost, err := eng.WorkloadCost(w, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recCost, err := eng.WorkloadCost(w, ad.Config(res))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recCost >= baseCost {
+		t.Fatalf("recommendation does not improve workload: %v -> %v", baseCost, recCost)
+	}
+	improvement := 1 - recCost/baseCost
+	if improvement < 0.2 {
+		t.Fatalf("improvement only %.1f%%; expected a substantial speedup", improvement*100)
+	}
+	// Budget respected.
+	var used float64
+	for _, ix := range res.Indexes {
+		used += float64(ix.Bytes(cat.Table(ix.Table)))
+	}
+	if used > float64(cat.TotalBytes())*1.0000001 {
+		t.Fatalf("budget violated: %v > %v", used, cat.TotalBytes())
+	}
+	// Breakdown populated.
+	if res.Times.INUM <= 0 || res.Times.Solve <= 0 {
+		t.Fatalf("timings missing: %+v", res.Times)
+	}
+}
+
+func TestTighterBudgetNeverBetter(t *testing.T) {
+	ad, cat, _ := testAdvisor(t)
+	w := workload.Hom(workload.HomConfig{Queries: 30, Seed: 74})
+	s := Candidates(cat, w, CGenOptions{})
+	loose, err := ad.Recommend(w, s, FractionOfData(cat, 1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := ad.Recommend(w, s, FractionOfData(cat, 0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Allow solver slack (5% default gap would be the bound; we use 2%).
+	if tight.EstCost < loose.EstCost*(1-0.05) {
+		t.Fatalf("tighter budget yielded better cost: %v < %v", tight.EstCost, loose.EstCost)
+	}
+	var tightBytes float64
+	for _, ix := range tight.Indexes {
+		tightBytes += float64(ix.Bytes(cat.Table(ix.Table)))
+	}
+	if tightBytes > 0.05*float64(cat.TotalBytes())*1.0000001 {
+		t.Fatal("tight budget violated")
+	}
+}
+
+func TestInfeasibleConstraintsReported(t *testing.T) {
+	ad, cat, _ := testAdvisor(t)
+	w := workload.Hom(workload.HomConfig{Queries: 10, Seed: 75})
+	s := Candidates(cat, w, CGenOptions{})
+	cons := FractionOfData(cat, 1)
+	cons.Items = append(cons.Items,
+		Count{Name: "impossible-ge", Filter: OnTable("lineitem"), Sense: lp.GE, V: float64(len(s) + 10)},
+	)
+	res, err := ad.Recommend(w, s, cons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Infeasible {
+		t.Fatal("expected infeasibility")
+	}
+	found := false
+	for _, v := range res.Violated {
+		if v == "impossible-ge" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("violated constraints = %v, want impossible-ge", res.Violated)
+	}
+}
+
+func TestCountConstraintHonored(t *testing.T) {
+	ad, cat, _ := testAdvisor(t)
+	w := workload.Hom(workload.HomConfig{Queries: 30, Seed: 76})
+	s := Candidates(cat, w, CGenOptions{Covering: true})
+	cons := FractionOfData(cat, 1)
+	cons.Items = append(cons.Items, Count{
+		Name: "few-lineitem", Filter: OnTable("lineitem"), Sense: lp.LE, V: 1,
+	})
+	res, err := ad.Recommend(w, s, cons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Infeasible {
+		t.Fatal("unexpectedly infeasible")
+	}
+	n := 0
+	for _, ix := range res.Indexes {
+		if ix.Table == "lineitem" {
+			n++
+		}
+	}
+	if n > 1 {
+		t.Fatalf("constraint violated: %d lineitem indexes", n)
+	}
+}
+
+func TestWideIndexConstraint(t *testing.T) {
+	// Appendix E.1's example: at most 2 indexes with ≥ 2 key columns
+	// on lineitem.
+	ad, cat, _ := testAdvisor(t)
+	w := workload.Hom(workload.HomConfig{Queries: 30, Seed: 77})
+	s := Candidates(cat, w, CGenOptions{Covering: true})
+	cons := FractionOfData(cat, 1)
+	cons.Items = append(cons.Items, Count{
+		Name: "wide-lineitem", Filter: And(OnTable("lineitem"), MinKeyCols(2)), Sense: lp.LE, V: 2,
+	})
+	res, err := ad.Recommend(w, s, cons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, ix := range res.Indexes {
+		if ix.Table == "lineitem" && len(ix.Key) >= 2 {
+			n++
+		}
+	}
+	if n > 2 {
+		t.Fatalf("wide-index constraint violated: %d", n)
+	}
+}
+
+func TestClusteredPerTable(t *testing.T) {
+	ad, cat, _ := testAdvisor(t)
+	w := workload.Hom(workload.HomConfig{Queries: 15, Seed: 78})
+	s := Candidates(cat, w, CGenOptions{})
+	// Add clustered candidate variants for lineitem.
+	s = append(s,
+		&catalog.Index{Table: "lineitem", Key: []string{"l_shipdate"}, Clustered: true},
+		&catalog.Index{Table: "lineitem", Key: []string{"l_partkey"}, Clustered: true},
+	)
+	catalog.SortIndexes(s)
+	cons := FractionOfData(cat, 2)
+	cons.Items = append(cons.Items, ClusteredPerTable{})
+	res, err := ad.Recommend(w, s, cons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perTable := map[string]int{}
+	for _, ix := range res.Indexes {
+		if ix.Clustered {
+			perTable[ix.Table]++
+		}
+	}
+	for table, n := range perTable {
+		if n > 1 {
+			t.Fatalf("%d clustered indexes selected on %s", n, table)
+		}
+	}
+}
+
+func TestQueryCostConstraint(t *testing.T) {
+	ad, cat, _ := testAdvisor(t)
+	w := workload.Hom(workload.HomConfig{Queries: 15, Seed: 79})
+	s := Candidates(cat, w, CGenOptions{Covering: true})
+	cons := FractionOfData(cat, 2)
+	cons.Items = append(cons.Items, QueryCost{Factor: 0.9})
+	res, err := ad.Recommend(w, s, cons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Infeasible {
+		t.Skip("0.9× cap infeasible for this workload under the budget")
+	}
+	// Every query must now cost at most 90% of its baseline.
+	inst := ad.instance(w, s)
+	cfg := ad.Config(res)
+	for _, st := range w.Queries() {
+		base, _ := ad.Inum.Cost(st.Query, inst.Baseline)
+		got, _ := ad.Inum.Cost(st.Query, cfg)
+		if got > base*0.9*1.01 {
+			t.Fatalf("%s: cost %v exceeds 90%% of baseline %v", st.Query.ID, got, base)
+		}
+	}
+}
+
+func TestSessionInteractiveRetuning(t *testing.T) {
+	ad, cat, _ := testAdvisor(t)
+	w := workload.Hom(workload.HomConfig{Queries: 30, Seed: 80})
+	all := Candidates(cat, w, CGenOptions{Covering: true})
+	if len(all) < 20 {
+		t.Fatalf("too few candidates: %d", len(all))
+	}
+	half := all[:len(all)/2]
+	se := ad.NewSession(w, half, FractionOfData(cat, 1))
+	first, err := se.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	se.AddCandidates(all[len(all)/2:])
+	second, err := se.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A larger candidate set can only help (within solver slack).
+	if second.EstCost > first.EstCost*1.02 {
+		t.Fatalf("re-tuning with more candidates worsened cost: %v -> %v", first.EstCost, second.EstCost)
+	}
+	// The INUM cache is already warm, so the revised recommendation
+	// must skip INUM preparation almost entirely.
+	if second.Times.INUM > first.Times.INUM && second.Times.INUM > 50*first.Times.INUM/100 {
+		t.Fatalf("INUM time not reused: first=%v second=%v", first.Times.INUM, second.Times.INUM)
+	}
+}
+
+func TestSoftStorageSweep(t *testing.T) {
+	ad, cat, _ := testAdvisor(t)
+	w := workload.Hom(workload.HomConfig{Queries: 20, Seed: 81})
+	s := Candidates(cat, w, CGenOptions{Covering: true})
+	points, times, err := ad.SoftStorageSweep(w, s, NoConstraints(), 0, []float64{0, 0.25, 0.5, 0.75, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 5 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// λ = 0 minimizes storage: the empty configuration.
+	if points[0].SizeBytes != 0 {
+		t.Fatalf("λ=0 should select nothing, got %v bytes", points[0].SizeBytes)
+	}
+	// λ = 1 minimizes cost: must be the cheapest point.
+	for _, p := range points {
+		if points[4].Cost > p.Cost*1.02 {
+			t.Fatalf("λ=1 not cost-minimal: %v > %v", points[4].Cost, p.Cost)
+		}
+	}
+	// Higher λ trades storage for cost monotonically (within slack).
+	if points[4].SizeBytes < points[0].SizeBytes {
+		t.Fatal("λ=1 should use at least as much storage as λ=0")
+	}
+	if times.INUM <= 0 {
+		t.Fatal("shared INUM time missing")
+	}
+}
+
+func TestSoftStorageChord(t *testing.T) {
+	ad, cat, _ := testAdvisor(t)
+	w := workload.Hom(workload.HomConfig{Queries: 15, Seed: 82})
+	s := Candidates(cat, w, CGenOptions{})
+	points, _, err := ad.SoftStorageChord(w, s, NoConstraints(), 0, 0.05, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) < 2 {
+		t.Fatalf("chord returned %d points", len(points))
+	}
+	// Extremes present: a min-cost end and a min-size end.
+	minSize, minCost := math.Inf(1), math.Inf(1)
+	for _, p := range points {
+		minSize = math.Min(minSize, p.SizeBytes)
+		minCost = math.Min(minCost, p.Cost)
+	}
+	if points[len(points)-1].SizeBytes != minSize && points[0].SizeBytes != minSize {
+		t.Fatal("chord lost the min-storage extreme")
+	}
+}
+
+func TestProgressTrace(t *testing.T) {
+	ad, cat, _ := testAdvisor(t)
+	w := workload.Hom(workload.HomConfig{Queries: 20, Seed: 83})
+	s := Candidates(cat, w, CGenOptions{})
+	res, err := ad.Recommend(w, s, FractionOfData(cat, 0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) == 0 {
+		t.Fatal("no solver trace recorded")
+	}
+	for i := 1; i < len(res.Trace); i++ {
+		if res.Trace[i].Upper > res.Trace[i-1].Upper+1e-9 {
+			t.Fatal("trace upper bound worsened")
+		}
+	}
+	if res.Gap > ad.Opts.GapTol+0.03 && res.Gap > 0.05 {
+		t.Fatalf("final gap %v far above tolerance", res.Gap)
+	}
+}

@@ -1,0 +1,96 @@
+package cophy
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/tpch"
+	"repro/internal/workload"
+)
+
+// TestEndToEndFromSQL drives the full pipeline the CLI exposes: parse
+// a SQL workload, generate candidates, tune under a budget, and verify
+// the recommendation against the optimizer's ground truth.
+func TestEndToEndFromSQL(t *testing.T) {
+	cat := tpch.Build(tpch.Config{ScaleFactor: 0.05})
+	eng := engine.New(cat, engine.SystemA())
+	w, err := workload.Parse(cat, `
+		-- reporting queries
+		SELECT o_orderdate, SUM(o_totalprice) FROM orders
+		WHERE o_orderdate BETWEEN :0.2 AND :0.26 GROUP BY o_orderdate WEIGHT 4;
+
+		SELECT c_name, o_totalprice FROM customer, orders
+		WHERE o_custkey = c_custkey AND c_mktsegment = :0.4 AND o_orderdate < :0.3;
+
+		SELECT l_extendedprice, l_discount FROM lineitem
+		WHERE l_shipdate BETWEEN :0.5 AND :0.55 AND l_quantity < :0.4;
+
+		-- a maintenance statement
+		UPDATE lineitem SET l_quantity = :0.5 WHERE l_orderkey BETWEEN :0.3 AND :0.32;
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ad := NewAdvisor(cat, eng, Options{GapTol: 0.02, RootIters: 200, MaxNodes: 60})
+	s := Candidates(cat, w, CGenOptions{Covering: true})
+	if len(s) == 0 {
+		t.Fatal("no candidates from parsed workload")
+	}
+	res, err := ad.Recommend(w, s, FractionOfData(cat, 0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Infeasible || len(res.Indexes) == 0 {
+		t.Fatalf("no recommendation: infeasible=%v", res.Infeasible)
+	}
+	base := engine.NewConfig(tpch.BaselineIndexes(cat)...)
+	baseCost, err := eng.WorkloadCost(w, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recCost, err := eng.WorkloadCost(w, ad.Config(res))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recCost >= baseCost*0.8 {
+		t.Fatalf("parsed-workload tuning too weak: %v -> %v", baseCost, recCost)
+	}
+	// Weighted statement: its heavy query must be served by an index.
+	heavy := w.Statements[0].Query
+	hb, _ := eng.WhatIfCost(heavy, base)
+	hr, _ := eng.WhatIfCost(heavy, ad.Config(res))
+	if hr >= hb {
+		t.Fatal("the weight-4 statement saw no improvement")
+	}
+}
+
+// TestSessionConstraintChange exercises re-solving after the DBA
+// tightens constraints mid-session.
+func TestSessionConstraintChange(t *testing.T) {
+	cat := tpch.Build(tpch.Config{ScaleFactor: 0.05})
+	eng := engine.New(cat, engine.SystemA())
+	ad := NewAdvisor(cat, eng, Options{GapTol: 0.03, RootIters: 150, MaxNodes: 40})
+	w := workload.Hom(workload.HomConfig{Queries: 25, Seed: 105})
+	s := Candidates(cat, w, CGenOptions{Covering: true})
+
+	se := ad.NewSession(w, s, FractionOfData(cat, 1))
+	first, err := se.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	se.SetConstraints(FractionOfData(cat, 0.05))
+	second, err := se.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bytes float64
+	for _, ix := range second.Indexes {
+		bytes += float64(ix.Bytes(cat.Table(ix.Table)))
+	}
+	if bytes > 0.05*float64(cat.TotalBytes())*1.0001 {
+		t.Fatalf("tightened budget violated: %v", bytes)
+	}
+	if second.EstCost < first.EstCost*(1-0.05) {
+		t.Fatal("tighter budget cannot improve the estimated cost")
+	}
+}

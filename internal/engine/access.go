@@ -1,0 +1,205 @@
+package engine
+
+import (
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/workload"
+)
+
+// qualify renders "table.col" order elements.
+func qualify(table string, cols []string) []string {
+	out := make([]string, len(cols))
+	for i, c := range cols {
+		out[i] = table + "." + c
+	}
+	return out
+}
+
+// satisfiesOrder reports whether a delivered sort order satisfies a
+// required one, i.e. required is a prefix of delivered.
+func satisfiesOrder(delivered, required []string) bool {
+	if len(required) > len(delivered) {
+		return false
+	}
+	for i, r := range required {
+		if delivered[i] != r {
+			return false
+		}
+	}
+	return true
+}
+
+func orderKey(order []string) string { return strings.Join(order, ",") }
+
+// colsWidth sums the byte widths of the named columns of a table.
+func (e *Engine) colsWidth(table string, cols []string) float64 {
+	t := e.Cat.Table(table)
+	if t == nil {
+		return 16
+	}
+	w := 8.0
+	for _, c := range cols {
+		if col := t.Column(c); col != nil {
+			w += float64(col.Width)
+		}
+	}
+	return w
+}
+
+// scanPaths enumerates the single-pass access paths for one table of a
+// query under the given configuration: heap scan, clustered-index
+// scans, and secondary index scans (covering or not). Every returned
+// node is a complete, costed leaf.
+func (e *Engine) scanPaths(q *workload.Query, table string, cfg *Config, needCols []string) []*PlanNode {
+	t := e.Cat.Table(table)
+	if t == nil {
+		return nil
+	}
+	rows := float64(t.Rows)
+	pages := float64(t.Pages())
+	lsel := e.localSel(q, table)
+	outRows := rows * lsel
+	if outRows < 1 {
+		outRows = 1
+	}
+	width := e.colsWidth(table, needCols)
+	p := e.Prof
+
+	var paths []*PlanNode
+
+	// Heap sequential scan: always available, unordered.
+	seq := &PlanNode{
+		Op: OpSeqScan, Table: table,
+		Rows: outRows, Width: width,
+	}
+	seq.SelfCost = pages*p.SeqPageCost + rows*p.CPUTupleCost
+	seq.Cost = seq.SelfCost
+	paths = append(paths, seq)
+
+	for _, ix := range cfg.OnTable(table) {
+		sel, eqBound, sargable := e.prefixSel(q, ix)
+		matchRows := rows * sel
+		if matchRows < 1 {
+			matchRows = 1
+		}
+		order := qualify(table, ix.Key[eqBound:])
+
+		if ix.Clustered {
+			n := &PlanNode{Op: OpClusteredScan, Table: table, Index: ix, Rows: outRows, Width: width, Order: order}
+			if sargable {
+				n.SelfCost = float64(ix.Height(t))*p.RandPageCost + pages*sel*p.SeqPageCost + matchRows*p.CPUTupleCost
+			} else {
+				// Full clustered scan: heap-scan cost, but delivers
+				// the clustering order.
+				n.Order = qualify(table, ix.Key)
+				n.SelfCost = pages*p.SeqPageCost + rows*p.CPUTupleCost
+			}
+			n.Cost = n.SelfCost
+			paths = append(paths, n)
+			continue
+		}
+
+		covering := ix.Covers(needCols)
+		leafPages := float64(ix.LeafPages(t))
+		height := float64(ix.Height(t))
+		fetchPerRow := p.RandPageCost*(1-p.Correlation) + p.SeqPageCost*p.Correlation
+
+		if sargable {
+			n := &PlanNode{Table: table, Index: ix, Rows: outRows, Width: width, Order: order}
+			n.SelfCost = height*p.RandPageCost + leafPages*sel*p.SeqPageCost + matchRows*p.CPUIndexTupleCost
+			if covering {
+				n.Op = OpIndexOnlyScan
+			} else {
+				n.Op = OpIndexScan
+				n.SelfCost += matchRows * fetchPerRow
+			}
+			n.SelfCost += matchRows * p.CPUTupleCost // residual filters
+			n.Cost = n.SelfCost
+			paths = append(paths, n)
+		}
+
+		// Full index scan for its order (or covering projection):
+		// useful to feed merge joins, stream aggregation or ORDER BY
+		// without a sort.
+		full := &PlanNode{Table: table, Index: ix, Rows: outRows, Width: width, Order: qualify(table, ix.Key)}
+		full.SelfCost = leafPages*p.SeqPageCost + rows*p.CPUIndexTupleCost + rows*p.CPUTupleCost
+		if covering {
+			full.Op = OpIndexOnlyScan
+		} else {
+			full.Op = OpIndexScan
+			full.SelfCost += rows * lsel * fetchPerRow
+		}
+		full.Cost = full.SelfCost
+		paths = append(paths, full)
+	}
+	return paths
+}
+
+// lookupLeaf builds the repeated-lookup access leaf for the inner side
+// of an index nested-loop join on joinCol. It returns nil when no
+// index in the configuration supports point lookups on that column.
+// The returned node's SelfCost is the *per-lookup* cost; the join
+// construction scales it by the number of probes.
+func (e *Engine) lookupLeaf(q *workload.Query, table string, cfg *Config, joinCol string, needCols []string) *PlanNode {
+	t := e.Cat.Table(table)
+	if t == nil {
+		return nil
+	}
+	rows := float64(t.Rows)
+	lsel := e.localSel(q, table)
+	ndv := e.ndvOf(catalog.ColumnRef{Table: table, Column: joinCol})
+	rowsPerLookup := rows * lsel / ndv
+	if rowsPerLookup < 1e-6 {
+		rowsPerLookup = 1e-6
+	}
+	width := e.colsWidth(table, needCols)
+	p := e.Prof
+
+	eqCols := make(map[string]bool)
+	for _, pr := range q.PredsOf(table) {
+		if pr.Op == workload.OpEq {
+			eqCols[pr.Col.Column] = true
+		}
+	}
+
+	var best *PlanNode
+	for _, ix := range cfg.OnTable(table) {
+		// The join column must follow an equality-bound prefix of the
+		// key (possibly empty) to support point lookups.
+		usable := false
+		for pos, k := range ix.Key {
+			if k == joinCol {
+				usable = true
+				break
+			}
+			if !eqCols[k] {
+				break
+			}
+			_ = pos
+		}
+		if !usable {
+			continue
+		}
+		height := float64(ix.Height(t))
+		entries := rows / ndv // entries touched per probe before residual filters
+		if entries < 1 {
+			entries = 1
+		}
+		per := height*p.RandPageCost + entries*p.CPUIndexTupleCost + rowsPerLookup*p.CPUTupleCost
+		covering := ix.Clustered || ix.Covers(needCols)
+		if !covering {
+			fetchPerRow := p.RandPageCost*(1-p.Correlation) + p.SeqPageCost*p.Correlation
+			per += rowsPerLookup * fetchPerRow
+		}
+		n := &PlanNode{
+			Op: OpIndexLookup, Table: table, Index: ix,
+			Rows: rowsPerLookup, Width: width, SelfCost: per,
+		}
+		n.Cost = n.SelfCost
+		if best == nil || n.SelfCost < best.SelfCost {
+			best = n
+		}
+	}
+	return best
+}

@@ -1,0 +1,278 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"repro/internal/catalog"
+	"repro/internal/workload"
+)
+
+// Engine is the simulated DBMS optimizer with a what-if interface.
+// Engines are safe for concurrent use.
+type Engine struct {
+	// Cat is the database catalog (schema + statistics).
+	Cat *catalog.Catalog
+	// Prof holds the cost-model constants.
+	Prof Profile
+
+	whatIfCalls atomic.Int64
+}
+
+// New returns an engine over the catalog with the given cost profile.
+func New(cat *catalog.Catalog, prof Profile) *Engine {
+	return &Engine{Cat: cat, Prof: prof}
+}
+
+// WhatIfCalls returns the number of what-if optimizations performed so
+// far. Index advisors report this to compare their optimizer traffic
+// (the expensive resource INUM was designed to conserve).
+func (e *Engine) WhatIfCalls() int64 { return e.whatIfCalls.Load() }
+
+// ResetWhatIfCalls zeroes the counter.
+func (e *Engine) ResetWhatIfCalls() { e.whatIfCalls.Store(0) }
+
+// WhatIfPlan optimizes the query under the hypothetical configuration
+// and returns the chosen physical plan. This is the what-if optimizer
+// of §2: a normal optimization with "faked" index statistics.
+func (e *Engine) WhatIfPlan(q *workload.Query, cfg *Config) (*Plan, error) {
+	e.whatIfCalls.Add(1)
+	return e.optimize(q, cfg, nil, false)
+}
+
+// WhatIfCost returns cost(q, X): the cost of the optimal plan for q
+// when exactly the indexes in cfg are available.
+func (e *Engine) WhatIfCost(q *workload.Query, cfg *Config) (float64, error) {
+	p, err := e.WhatIfPlan(q, cfg)
+	if err != nil {
+		return 0, err
+	}
+	return p.Cost, nil
+}
+
+// ForcedPlan optimizes the query with per-table delivered-order
+// requirements — the "plan forcing through hints" service INUM relies
+// on (§4). A table present in forced with a non-empty order must be
+// accessed in that order; a table present with an empty order must be
+// accessed without repeated lookups; absent tables are unconstrained.
+// It returns an error when no plan satisfies the requirements.
+func (e *Engine) ForcedPlan(q *workload.Query, cfg *Config, forced map[string][]string) (*Plan, error) {
+	e.whatIfCalls.Add(1)
+	return e.optimize(q, cfg, forced, false)
+}
+
+// TemplatePlan optimizes like ForcedPlan but in template mode: the
+// plan may exploit only the forced leaf orders, never incidental ones,
+// so INUM can lift it into a template whose slot requirements are
+// exactly the orders its internal operators consume.
+func (e *Engine) TemplatePlan(q *workload.Query, cfg *Config, forced map[string][]string) (*Plan, error) {
+	e.whatIfCalls.Add(1)
+	return e.optimize(q, cfg, forced, true)
+}
+
+// optimize runs access-path selection, join ordering and finalization.
+func (e *Engine) optimize(q *workload.Query, cfg *Config, forced map[string][]string, templateMode bool) (*Plan, error) {
+	if len(q.Tables) == 0 {
+		return nil, fmt.Errorf("engine: query %s references no tables", q.ID)
+	}
+	if len(q.Tables) > 12 {
+		return nil, fmt.Errorf("engine: query %s joins %d tables; limit is 12", q.ID, len(q.Tables))
+	}
+	entries := e.optimizeJoin(q, cfg, forced, templateMode)
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("engine: no plan for query %s under forced orders", q.ID)
+	}
+	var best *PlanNode
+	for _, entry := range entries {
+		fin := e.finalize(q, entry)
+		if best == nil || fin.Cost < best.Cost {
+			best = fin
+		}
+	}
+	return &Plan{Root: best, Cost: best.Cost}, nil
+}
+
+// finalize applies grouping, aggregation and ordering on top of a join
+// result.
+func (e *Engine) finalize(q *workload.Query, root *PlanNode) *PlanNode {
+	p := e.Prof
+
+	if len(q.GroupBy) > 0 {
+		groupOrder := make([]string, len(q.GroupBy))
+		for i, g := range q.GroupBy {
+			groupOrder[i] = g.String()
+		}
+		groups := e.groupRows(root.Rows, q.GroupBy)
+		if satisfiesOrder(root.Order, groupOrder) {
+			agg := &PlanNode{
+				Op: OpStreamAgg, Children: []*PlanNode{root},
+				Rows: groups, Width: root.Width, Order: root.Order,
+				SelfCost: root.Rows * p.CPUOperatorCost,
+			}
+			agg.Cost = root.Cost + agg.SelfCost
+			root = agg
+		} else {
+			// Choose the cheaper of hash aggregation and sort+stream.
+			hashSelf := root.Rows*p.CPUOperatorCost*2*p.HashFudge + groups*p.CPUOperatorCost
+			if pages := groups * root.Width / PageSizeF; pages > float64(p.MemoryPages) {
+				hashSelf += pages * 2 * p.SeqPageCost
+			}
+			sorted := e.sortNode(root, groupOrder)
+			streamSelf := root.Rows * p.CPUOperatorCost
+			if root.Cost+hashSelf <= sorted.Cost+streamSelf {
+				agg := &PlanNode{
+					Op: OpHashAgg, Children: []*PlanNode{root},
+					Rows: groups, Width: root.Width,
+					SelfCost: hashSelf,
+				}
+				agg.Cost = root.Cost + agg.SelfCost
+				root = agg
+			} else {
+				agg := &PlanNode{
+					Op: OpStreamAgg, Children: []*PlanNode{sorted},
+					Rows: groups, Width: root.Width, Order: sorted.Order,
+					SelfCost: streamSelf,
+				}
+				agg.Cost = sorted.Cost + agg.SelfCost
+				root = agg
+			}
+		}
+	} else if q.Aggregate {
+		agg := &PlanNode{
+			Op: OpStreamAgg, Children: []*PlanNode{root},
+			Rows: 1, Width: root.Width,
+			SelfCost: root.Rows * p.CPUOperatorCost,
+		}
+		agg.Cost = root.Cost + agg.SelfCost
+		root = agg
+	}
+
+	if len(q.OrderBy) > 0 {
+		required := make([]string, len(q.OrderBy))
+		for i, o := range q.OrderBy {
+			required[i] = o.String()
+		}
+		if !satisfiesOrder(root.Order, required) {
+			root = e.sortNode(root, required)
+		}
+	}
+	return root
+}
+
+// SlotScanCost prices one access method for a single-pass template
+// slot: accessing table with index ix (nil for a heap scan) while
+// delivering requiredOrder. It returns ok=false when the access method
+// cannot implement the slot — the γ = ∞ case of Lemma 1.
+func (e *Engine) SlotScanCost(q *workload.Query, table string, ix *catalog.Index, requiredOrder, needCols []string) (float64, bool) {
+	cfg := NewConfig()
+	if ix != nil {
+		if ix.Table != table {
+			return 0, false
+		}
+		cfg.Add(ix)
+	}
+	paths := e.scanPaths(q, table, cfg, needCols)
+	best := math.Inf(1)
+	for _, pth := range paths {
+		if ix == nil && pth.Index != nil {
+			continue
+		}
+		if ix != nil && pth.Index == nil {
+			continue // pricing the index, not the heap fallback
+		}
+		if len(requiredOrder) > 0 && !satisfiesOrder(pth.Order, requiredOrder) {
+			continue
+		}
+		if pth.SelfCost < best {
+			best = pth.SelfCost
+		}
+	}
+	if math.IsInf(best, 1) {
+		return 0, false
+	}
+	return best, true
+}
+
+// SlotLookupCost prices one access method for a repeated-lookup
+// template slot: lookups probes on joinCol against table via ix. A
+// heap scan cannot implement a lookup slot, so ix must be non-nil.
+func (e *Engine) SlotLookupCost(q *workload.Query, table string, ix *catalog.Index, joinCol string, lookups float64, needCols []string) (float64, bool) {
+	if ix == nil || ix.Table != table {
+		return 0, false
+	}
+	cfg := NewConfig(ix)
+	leaf := e.lookupLeaf(q, table, cfg, joinCol, needCols)
+	if leaf == nil {
+		return 0, false
+	}
+	return lookups * leaf.SelfCost * e.Prof.NLFudge, true
+}
+
+// UpdateCost returns ucost(a, q): the independent maintenance cost
+// index a incurs for update statement u (§2). Unaffected indexes cost
+// zero.
+func (e *Engine) UpdateCost(u *workload.Update, ix *catalog.Index) float64 {
+	if !u.Affects(ix) {
+		return 0
+	}
+	t := e.Cat.Table(u.Table)
+	if t == nil {
+		return 0
+	}
+	shell := u.Shell()
+	affected := e.tableRows(u.Table) * e.localSel(shell, u.Table)
+	if affected < 1 {
+		affected = 1
+	}
+	p := e.Prof
+	height := float64(ix.Height(t))
+	// Each modified row descends the index and rewrites one leaf entry
+	// (delete + insert for key changes).
+	return affected * (height*p.RandPageCost + 2*p.CPUIndexTupleCost + p.CPUOperatorCost)
+}
+
+// BaseUpdateCost returns c_q: the cost to update the base tuples of u,
+// independent of any index choice.
+func (e *Engine) BaseUpdateCost(u *workload.Update) float64 {
+	shell := u.Shell()
+	affected := e.tableRows(u.Table) * e.localSel(shell, u.Table)
+	if affected < 1 {
+		affected = 1
+	}
+	p := e.Prof
+	return affected * (p.RandPageCost + p.CPUTupleCost)
+}
+
+// StatementCost returns the full cost of one workload statement under
+// configuration cfg: for queries, cost(q, X); for updates, the query
+// shell cost plus per-index maintenance plus the base-tuple cost.
+func (e *Engine) StatementCost(s *workload.Statement, cfg *Config) (float64, error) {
+	if s.Query != nil {
+		return e.WhatIfCost(s.Query, cfg)
+	}
+	u := s.Update
+	c, err := e.WhatIfCost(u.Shell(), cfg)
+	if err != nil {
+		return 0, err
+	}
+	for _, ix := range cfg.Indexes() {
+		c += e.UpdateCost(u, ix)
+	}
+	return c + e.BaseUpdateCost(u), nil
+}
+
+// WorkloadCost returns Σ f_q · cost(q, X) over the workload — the
+// objective of the index tuning problem, evaluated against the
+// optimizer's ground truth.
+func (e *Engine) WorkloadCost(w *workload.Workload, cfg *Config) (float64, error) {
+	var sum float64
+	for _, s := range w.Statements {
+		c, err := e.StatementCost(s, cfg)
+		if err != nil {
+			return 0, err
+		}
+		sum += s.Weight * c
+	}
+	return sum, nil
+}

@@ -1,0 +1,375 @@
+package engine
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/tpch"
+	"repro/internal/workload"
+)
+
+func testEnv(t *testing.T) (*catalog.Catalog, *Engine, *Config) {
+	t.Helper()
+	cat := tpch.Build(tpch.Config{ScaleFactor: 0.05})
+	e := New(cat, SystemA())
+	base := NewConfig(tpch.BaselineIndexes(cat)...)
+	return cat, e, base
+}
+
+func ref(tb, c string) catalog.ColumnRef { return catalog.ColumnRef{Table: tb, Column: c} }
+
+// selectiveQuery is a single-table range query on lineitem.l_shipdate.
+func selectiveQuery(width float64) *workload.Query {
+	return &workload.Query{
+		ID:     "t-sel",
+		Tables: []string{"lineitem"},
+		Select: []catalog.ColumnRef{ref("lineitem", "l_extendedprice")},
+		Preds: []workload.Predicate{
+			{Col: ref("lineitem", "l_shipdate"), Op: workload.OpRange, Lo: 0.4, Hi: 0.4 + width},
+		},
+	}
+}
+
+func TestSeqScanBaseline(t *testing.T) {
+	_, e, base := testEnv(t)
+	q := selectiveQuery(0.01)
+	p, err := e.WhatIfPlan(q, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Cost <= 0 {
+		t.Fatalf("cost = %v", p.Cost)
+	}
+	// Without a useful index the plan must read the heap (or the
+	// clustered PK, same cost class).
+	leaf := p.Root.Leaves(nil)[0]
+	if leaf.Op != OpSeqScan && leaf.Op != OpClusteredScan {
+		t.Fatalf("leaf op = %v", leaf.Op)
+	}
+}
+
+func TestIndexBeatsScanWhenSelective(t *testing.T) {
+	_, e, base := testEnv(t)
+	q := selectiveQuery(0.005)
+	noIx, _ := e.WhatIfCost(q, base)
+	ix := &catalog.Index{Table: "lineitem", Key: []string{"l_shipdate"}}
+	withIx, _ := e.WhatIfCost(q, base.Union(NewConfig(ix)))
+	if withIx >= noIx {
+		t.Fatalf("selective index should win: with=%v without=%v", withIx, noIx)
+	}
+}
+
+func TestCoveringIndexBeatsNonCovering(t *testing.T) {
+	_, e, base := testEnv(t)
+	q := selectiveQuery(0.05)
+	plain := &catalog.Index{Table: "lineitem", Key: []string{"l_shipdate"}}
+	covering := &catalog.Index{Table: "lineitem", Key: []string{"l_shipdate"}, Include: []string{"l_extendedprice"}}
+	cPlain, _ := e.WhatIfCost(q, base.Union(NewConfig(plain)))
+	cCover, _ := e.WhatIfCost(q, base.Union(NewConfig(covering)))
+	if cCover >= cPlain {
+		t.Fatalf("covering index should win: covering=%v plain=%v", cCover, cPlain)
+	}
+}
+
+func TestWideRangePrefersScan(t *testing.T) {
+	_, e, base := testEnv(t)
+	q := selectiveQuery(0.9)
+	ix := &catalog.Index{Table: "lineitem", Key: []string{"l_shipdate"}}
+	p, err := e.WhatIfPlan(q, base.Union(NewConfig(ix)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf := p.Root.Leaves(nil)[0]
+	if leaf.Op == OpIndexScan {
+		t.Fatalf("90%% range should not use a non-covering secondary index:\n%s", p)
+	}
+}
+
+func TestCostMonotoneInConfig(t *testing.T) {
+	// Adding indexes never increases the optimal query cost.
+	_, e, base := testEnv(t)
+	w := workload.Hom(workload.HomConfig{Queries: 15, Seed: 11})
+	add := NewConfig(
+		&catalog.Index{Table: "lineitem", Key: []string{"l_shipdate", "l_discount"}},
+		&catalog.Index{Table: "orders", Key: []string{"o_orderdate"}},
+		&catalog.Index{Table: "customer", Key: []string{"c_mktsegment"}},
+	)
+	for _, s := range w.Queries() {
+		before, err := e.WhatIfCost(s.Query, base)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Query.ID, err)
+		}
+		after, err := e.WhatIfCost(s.Query, base.Union(add))
+		if err != nil {
+			t.Fatalf("%s: %v", s.Query.ID, err)
+		}
+		if after > before*1.0000001 {
+			t.Fatalf("%s: cost grew when indexes added: %v -> %v", s.Query.ID, before, after)
+		}
+	}
+}
+
+func TestJoinQueryPlans(t *testing.T) {
+	_, e, base := testEnv(t)
+	w := workload.Hom(workload.HomConfig{Queries: 15, Seed: 12})
+	for _, s := range w.Queries() {
+		p, err := e.WhatIfPlan(s.Query, base)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Query.ID, err)
+		}
+		leaves := p.Root.Leaves(nil)
+		if len(leaves) != len(s.Query.Tables) {
+			t.Fatalf("%s: %d leaves for %d tables\n%s", s.Query.ID, len(leaves), len(s.Query.Tables), p)
+		}
+		if p.Cost <= 0 || math.IsInf(p.Cost, 0) || math.IsNaN(p.Cost) {
+			t.Fatalf("%s: bad cost %v", s.Query.ID, p.Cost)
+		}
+	}
+}
+
+func TestIndexNLJoinUsedWithFKIndex(t *testing.T) {
+	_, e, base := testEnv(t)
+	q := &workload.Query{
+		ID:     "t-nl",
+		Tables: []string{"orders", "lineitem"},
+		Select: []catalog.ColumnRef{ref("lineitem", "l_extendedprice")},
+		Joins:  []workload.Join{{Left: ref("lineitem", "l_orderkey"), Right: ref("orders", "o_orderkey")}},
+		Preds: []workload.Predicate{
+			{Col: ref("orders", "o_orderdate"), Op: workload.OpRange, Lo: 0.1, Hi: 0.101},
+		},
+	}
+	oix := &catalog.Index{Table: "orders", Key: []string{"o_orderdate"}}
+	lix := &catalog.Index{Table: "lineitem", Key: []string{"l_orderkey"}, Include: []string{"l_extendedprice"}}
+	cfg := base.Union(NewConfig(oix, lix))
+	p, err := e.WhatIfPlan(q, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(p.String(), "NLJoin") && !strings.Contains(p.String(), "MergeJoin") {
+		// With a tiny outer, NL (or merge via clustered PK) should beat
+		// hashing the 300k-row lineitem table.
+		t.Fatalf("expected index-assisted join:\n%s", p)
+	}
+	base2, _ := e.WhatIfCost(q, base)
+	with, _ := e.WhatIfCost(q, cfg)
+	if with >= base2 {
+		t.Fatalf("join indexes should help: %v >= %v", with, base2)
+	}
+}
+
+func TestOrderByAvoidsSortWithIndex(t *testing.T) {
+	_, e, base := testEnv(t)
+	q := &workload.Query{
+		ID:      "t-ord",
+		Tables:  []string{"customer"},
+		Select:  []catalog.ColumnRef{ref("customer", "c_acctbal")},
+		OrderBy: []catalog.ColumnRef{ref("customer", "c_acctbal")},
+	}
+	ix := &catalog.Index{Table: "customer", Key: []string{"c_acctbal"}}
+	pNo, _ := e.WhatIfPlan(q, base)
+	pIx, _ := e.WhatIfPlan(q, base.Union(NewConfig(ix)))
+	if !strings.Contains(pNo.String(), "Sort") {
+		t.Fatalf("baseline should sort:\n%s", pNo)
+	}
+	if strings.Contains(pIx.String(), "Sort") {
+		t.Fatalf("index order should avoid the sort:\n%s", pIx)
+	}
+	if pIx.Cost >= pNo.Cost {
+		t.Fatalf("sorted access should be cheaper: %v >= %v", pIx.Cost, pNo.Cost)
+	}
+}
+
+func TestGroupByStreamAggWithIndex(t *testing.T) {
+	_, e, base := testEnv(t)
+	q := &workload.Query{
+		ID:        "t-grp",
+		Tables:    []string{"lineitem"},
+		Select:    []catalog.ColumnRef{ref("lineitem", "l_returnflag"), ref("lineitem", "l_quantity")},
+		GroupBy:   []catalog.ColumnRef{ref("lineitem", "l_returnflag")},
+		Aggregate: true,
+	}
+	ix := &catalog.Index{Table: "lineitem", Key: []string{"l_returnflag"}, Include: []string{"l_quantity"}}
+	pIx, err := e.WhatIfPlan(q, base.Union(NewConfig(ix)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(pIx.String(), "StreamAgg") {
+		t.Fatalf("expected stream aggregation over sorted covering index:\n%s", pIx)
+	}
+}
+
+func TestSkewMakesHotRangeExpensive(t *testing.T) {
+	cat := tpch.Build(tpch.Config{ScaleFactor: 0.05, Skew: 2})
+	e := New(cat, SystemA())
+	base := NewConfig(tpch.BaselineIndexes(cat)...)
+	hot := &workload.Query{
+		ID: "hot", Tables: []string{"orders"},
+		Select: []catalog.ColumnRef{ref("orders", "o_totalprice")},
+		Preds:  []workload.Predicate{{Col: ref("orders", "o_orderdate"), Op: workload.OpRange, Lo: 0, Hi: 0.05}},
+	}
+	cold := &workload.Query{
+		ID: "cold", Tables: []string{"orders"},
+		Select: []catalog.ColumnRef{ref("orders", "o_totalprice")},
+		Preds:  []workload.Predicate{{Col: ref("orders", "o_orderdate"), Op: workload.OpRange, Lo: 0.9, Hi: 0.95}},
+	}
+	ix := NewConfig(&catalog.Index{Table: "orders", Key: []string{"o_orderdate"}, Include: []string{"o_totalprice"}})
+	hotCost, _ := e.WhatIfCost(hot, base.Union(ix))
+	coldCost, _ := e.WhatIfCost(cold, base.Union(ix))
+	if hotCost <= coldCost {
+		t.Fatalf("under z=2 the hot range should cost more: hot=%v cold=%v", hotCost, coldCost)
+	}
+}
+
+func TestWhatIfCallCounting(t *testing.T) {
+	_, e, base := testEnv(t)
+	e.ResetWhatIfCalls()
+	q := selectiveQuery(0.01)
+	for i := 0; i < 3; i++ {
+		if _, err := e.WhatIfCost(q, base); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.WhatIfCalls() != 3 {
+		t.Fatalf("WhatIfCalls = %d, want 3", e.WhatIfCalls())
+	}
+}
+
+func TestForcedPlanHonorsOrder(t *testing.T) {
+	_, e, base := testEnv(t)
+	q := &workload.Query{
+		ID:     "t-forced",
+		Tables: []string{"lineitem"},
+		Select: []catalog.ColumnRef{ref("lineitem", "l_extendedprice")},
+		Preds: []workload.Predicate{
+			{Col: ref("lineitem", "l_shipdate"), Op: workload.OpRange, Lo: 0.2, Hi: 0.25},
+		},
+	}
+	ix := &catalog.Index{Table: "lineitem", Key: []string{"l_shipdate"}}
+	cfg := base.Union(NewConfig(ix))
+	forced := map[string][]string{"lineitem": {"lineitem.l_shipdate"}}
+	p, err := e.ForcedPlan(q, cfg, forced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf := p.Root.Leaves(nil)[0]
+	if !satisfiesOrder(leaf.Order, forced["lineitem"]) {
+		t.Fatalf("forced order violated: %v", leaf.Order)
+	}
+	// Forcing an unobtainable order must fail.
+	if _, err := e.ForcedPlan(q, base, map[string][]string{"lineitem": {"lineitem.l_discount"}}); err == nil {
+		t.Fatal("expected error for unobtainable forced order")
+	}
+}
+
+func TestSlotScanCost(t *testing.T) {
+	_, e, _ := testEnv(t)
+	q := selectiveQuery(0.01)
+	need := q.ColumnsOf("lineitem")
+	heap, ok := e.SlotScanCost(q, "lineitem", nil, nil, need)
+	if !ok || heap <= 0 {
+		t.Fatalf("heap slot = %v, %v", heap, ok)
+	}
+	ix := &catalog.Index{Table: "lineitem", Key: []string{"l_shipdate"}}
+	ic, ok := e.SlotScanCost(q, "lineitem", ix, nil, need)
+	if !ok {
+		t.Fatal("index slot should be feasible")
+	}
+	if ic >= heap {
+		t.Fatalf("selective index slot %v should beat heap %v", ic, heap)
+	}
+	// An index that cannot deliver the required order is infeasible.
+	other := &catalog.Index{Table: "lineitem", Key: []string{"l_discount"}}
+	if _, ok := e.SlotScanCost(q, "lineitem", other, []string{"lineitem.l_shipdate"}, need); ok {
+		t.Fatal("order-incompatible index must be rejected (γ = ∞)")
+	}
+	// Heap scans cannot deliver any order.
+	if _, ok := e.SlotScanCost(q, "lineitem", nil, []string{"lineitem.l_shipdate"}, need); ok {
+		t.Fatal("heap scan cannot satisfy an order requirement")
+	}
+}
+
+func TestSlotLookupCost(t *testing.T) {
+	_, e, _ := testEnv(t)
+	q := &workload.Query{
+		ID: "t-lkp", Tables: []string{"lineitem"},
+		Select: []catalog.ColumnRef{ref("lineitem", "l_extendedprice")},
+	}
+	ix := &catalog.Index{Table: "lineitem", Key: []string{"l_orderkey"}}
+	c1, ok := e.SlotLookupCost(q, "lineitem", ix, "l_orderkey", 100, q.ColumnsOf("lineitem"))
+	if !ok || c1 <= 0 {
+		t.Fatalf("lookup slot = %v, %v", c1, ok)
+	}
+	c2, _ := e.SlotLookupCost(q, "lineitem", ix, "l_orderkey", 200, q.ColumnsOf("lineitem"))
+	if math.Abs(c2-2*c1) > 1e-6*c1 {
+		t.Fatalf("lookup cost must scale linearly with probes: %v vs %v", c1, c2)
+	}
+	bad := &catalog.Index{Table: "lineitem", Key: []string{"l_shipdate"}}
+	if _, ok := e.SlotLookupCost(q, "lineitem", bad, "l_orderkey", 100, nil); ok {
+		t.Fatal("non-matching index cannot implement lookup slot")
+	}
+	if _, ok := e.SlotLookupCost(q, "lineitem", nil, "l_orderkey", 100, nil); ok {
+		t.Fatal("heap cannot implement lookup slot")
+	}
+}
+
+func TestUpdateCosts(t *testing.T) {
+	_, e, _ := testEnv(t)
+	u := &workload.Update{
+		ID: "u1", Table: "lineitem", SetCols: []string{"l_quantity"},
+		Where: []workload.Predicate{{Col: ref("lineitem", "l_orderkey"), Op: workload.OpRange, Lo: 0.1, Hi: 0.101}},
+	}
+	affected := &catalog.Index{Table: "lineitem", Key: []string{"l_quantity"}}
+	unaffected := &catalog.Index{Table: "lineitem", Key: []string{"l_shipdate"}}
+	if c := e.UpdateCost(u, affected); c <= 0 {
+		t.Fatalf("affected index ucost = %v", c)
+	}
+	if c := e.UpdateCost(u, unaffected); c != 0 {
+		t.Fatalf("unaffected index ucost = %v, want 0", c)
+	}
+	if c := e.BaseUpdateCost(u); c <= 0 {
+		t.Fatalf("base update cost = %v", c)
+	}
+}
+
+func TestWorkloadCost(t *testing.T) {
+	_, e, base := testEnv(t)
+	w := workload.Hom(workload.HomConfig{Queries: 10, UpdateFraction: 0.2, Seed: 13})
+	c, err := e.WorkloadCost(w, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c <= 0 {
+		t.Fatalf("workload cost = %v", c)
+	}
+	// Statement costs are weighted.
+	w.Statements[0].Weight = 1000
+	c2, _ := e.WorkloadCost(w, base)
+	if c2 <= c {
+		t.Fatal("raising a weight must raise the workload cost")
+	}
+}
+
+func TestSystemProfilesDiffer(t *testing.T) {
+	cat := tpch.Build(tpch.Config{ScaleFactor: 0.05})
+	a := New(cat, SystemA())
+	b := New(cat, SystemB())
+	base := NewConfig(tpch.BaselineIndexes(cat)...)
+	q := selectiveQuery(0.05)
+	ca, _ := a.WhatIfCost(q, base)
+	cb, _ := b.WhatIfCost(q, base)
+	if ca == cb {
+		t.Fatal("the two system profiles should produce different costs")
+	}
+}
+
+func TestHetWorkloadOptimizes(t *testing.T) {
+	_, e, base := testEnv(t)
+	w := workload.Het(workload.HetConfig{Queries: 60, Seed: 14})
+	for _, s := range w.Queries() {
+		if _, err := e.WhatIfPlan(s.Query, base); err != nil {
+			t.Fatalf("%s: %v\n%s", s.Query.ID, err, s.Query)
+		}
+	}
+}

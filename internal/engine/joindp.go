@@ -1,0 +1,332 @@
+package engine
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/workload"
+)
+
+// maxEntriesPerMask caps the number of Pareto plan entries retained
+// per DP state, bounding optimization time on wide queries.
+const maxEntriesPerMask = 16
+
+// sortNode wraps child in a Sort delivering the required order.
+func (e *Engine) sortNode(child *PlanNode, order []string) *PlanNode {
+	p := e.Prof
+	rows := child.Rows
+	cpu := rows * math.Log2(rows+2) * p.CPUOperatorCost * p.SortFudge
+	pages := rows * child.Width / float64(PageSizeF)
+	var io float64
+	if pages > float64(p.MemoryPages) {
+		passes := 1 + math.Ceil(math.Log2(pages/float64(p.MemoryPages)))
+		io = pages * 2 * passes * p.SeqPageCost
+	}
+	n := &PlanNode{
+		Op: OpSort, Children: []*PlanNode{child},
+		Rows: rows, Width: child.Width, Order: order,
+		SelfCost: cpu + io,
+	}
+	n.Cost = child.Cost + n.SelfCost
+	return n
+}
+
+// PageSizeF mirrors catalog.PageSize for float arithmetic.
+const PageSizeF = 8192
+
+// hashCost returns the extra cost of a hash join given build and probe
+// sides, including a spill penalty when the build side exceeds memory.
+func (e *Engine) hashCost(buildRows, buildWidth, probeRows, probeWidth float64) float64 {
+	p := e.Prof
+	cpu := (buildRows*2 + probeRows) * p.CPUOperatorCost * p.HashFudge
+	buildPages := buildRows * buildWidth / PageSizeF
+	var io float64
+	if buildPages > float64(p.MemoryPages) {
+		probePages := probeRows * probeWidth / PageSizeF
+		io = (buildPages + probePages) * 2 * p.SeqPageCost
+	}
+	return cpu + io
+}
+
+// joinCond is one join predicate connecting a new table to the current
+// DP subset.
+type joinCond struct {
+	outerCol string // qualified column on the subset side
+	innerCol string // unqualified column on the new table
+	sel      float64
+}
+
+// optimizeJoin runs the System-R DP over the query's tables and
+// returns the plan entries (one per interesting delivered order) for
+// the full table set. forced constrains per-table delivered orders for
+// INUM template extraction; a nil map (or missing entry) leaves the
+// table unconstrained, while a present entry requires every access to
+// that table to deliver the given order (an empty non-nil slice means
+// "unordered access only").
+//
+// In templateMode the internal plan may rely only on leaf orders that
+// were explicitly forced: every access path advertises exactly its
+// forced order (nothing for unforced tables). This guarantees that a
+// template's slot requirements capture every ordering assumption baked
+// into its internal cost β, which is what makes β + Σγ the true cost
+// of the instantiated plan for any compatible access methods.
+func (e *Engine) optimizeJoin(q *workload.Query, cfg *Config, forced map[string][]string, templateMode bool) []*PlanNode {
+	tables := q.Tables
+	n := len(tables)
+	idx := make(map[string]int, n)
+	for i, t := range tables {
+		idx[t] = i
+	}
+
+	needCols := make([][]string, n)
+	paths := make([][]*PlanNode, n)
+	for i, t := range tables {
+		needCols[i] = q.ColumnsOf(t)
+		all := e.scanPaths(q, t, cfg, needCols[i])
+		all = e.filterForced(all, t, forced)
+		if templateMode {
+			req, _ := lookupForced(forced, t)
+			trimmed := make([]*PlanNode, 0, len(all))
+			seen := map[string]bool{}
+			for _, p := range all {
+				cp := *p
+				if len(req) > 0 {
+					cp.Order = req
+				} else {
+					cp.Order = nil
+				}
+				// With orders erased, identical (order, cost-class)
+				// paths collapse; keep the cheapest per order.
+				k := orderKey(cp.Order)
+				if seen[k] {
+					for j, prior := range trimmed {
+						if orderKey(prior.Order) == k && cp.SelfCost < prior.SelfCost {
+							trimmed[j] = &cp
+						}
+					}
+					continue
+				}
+				seen[k] = true
+				trimmed = append(trimmed, &cp)
+			}
+			all = trimmed
+		}
+		paths[i] = all
+	}
+
+	dp := make([]map[string]*PlanNode, 1<<n)
+	add := func(mask int, node *PlanNode) {
+		m := dp[mask]
+		if m == nil {
+			m = make(map[string]*PlanNode)
+			dp[mask] = m
+		}
+		k := orderKey(node.Order)
+		if cur, ok := m[k]; !ok || node.Cost < cur.Cost {
+			m[k] = node
+		}
+	}
+	for i := range tables {
+		for _, pth := range paths[i] {
+			add(1<<i, pth)
+		}
+	}
+
+	for mask := 1; mask < 1<<n; mask++ {
+		m := dp[mask]
+		if m == nil {
+			continue
+		}
+		pruneEntries(m)
+		entries := make([]*PlanNode, 0, len(m))
+		for _, nd := range m {
+			entries = append(entries, nd)
+		}
+		for t := 0; t < n; t++ {
+			if mask&(1<<t) != 0 {
+				continue
+			}
+			conds, sels := e.connTable(q, tables, mask, t, idx)
+			for _, outer := range entries {
+				e.expandJoin(q, cfg, add, mask, t, tables[t], outer, paths[t], needCols[t], conds, sels, forced)
+			}
+		}
+	}
+
+	full := dp[(1<<n)-1]
+	if full == nil {
+		return nil
+	}
+	pruneEntries(full)
+	out := make([]*PlanNode, 0, len(full))
+	for _, nd := range full {
+		out = append(out, nd)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Cost < out[j].Cost })
+	return out
+}
+
+// filterForced keeps only the access paths compatible with a forced
+// per-table order requirement.
+func (e *Engine) filterForced(all []*PlanNode, table string, forced map[string][]string) []*PlanNode {
+	req, constrained := lookupForced(forced, table)
+	if !constrained || len(req) == 0 {
+		return all
+	}
+	var out []*PlanNode
+	for _, p := range all {
+		if satisfiesOrder(p.Order, req) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func lookupForced(forced map[string][]string, table string) ([]string, bool) {
+	if forced == nil {
+		return nil, false
+	}
+	req, ok := forced[table]
+	return req, ok
+}
+
+// connTable gathers the join conditions connecting table t to the
+// subset mask, along with their selectivities.
+func (e *Engine) connTable(q *workload.Query, tables []string, mask, t int, idx map[string]int) ([]joinCond, []float64) {
+	var conds []joinCond
+	var sels []float64
+	name := tables[t]
+	for _, j := range q.Joins {
+		var tCol, oTab, oCol string
+		switch {
+		case j.Left.Table == name:
+			tCol, oTab, oCol = j.Left.Column, j.Right.Table, j.Right.Column
+		case j.Right.Table == name:
+			tCol, oTab, oCol = j.Right.Column, j.Left.Table, j.Left.Column
+		default:
+			continue
+		}
+		oi, ok := idx[oTab]
+		if !ok || mask&(1<<oi) == 0 {
+			continue
+		}
+		sel := e.joinSel(j)
+		conds = append(conds, joinCond{outerCol: oTab + "." + oCol, innerCol: tCol, sel: sel})
+		sels = append(sels, sel)
+	}
+	return conds, sels
+}
+
+// expandJoin emits the candidate joins of outer (covering mask) with
+// table t into the DP.
+func (e *Engine) expandJoin(q *workload.Query, cfg *Config, add func(int, *PlanNode), mask, t int, tname string,
+	outer *PlanNode, tPaths []*PlanNode, tNeed []string, conds []joinCond, sels []float64, forced map[string][]string) {
+
+	p := e.Prof
+	newMask := mask | 1<<t
+
+	// Cross products are permitted only when no join condition exists
+	// (disconnected queries); they cost their cardinality.
+	cross := len(conds) == 0
+
+	for _, inner := range tPaths {
+		rows := joinRows(outer.Rows, inner.Rows, sels)
+		width := outer.Width + inner.Width
+
+		// Hash join (or cross product via nested materialization).
+		var extra float64
+		if cross {
+			extra = outer.Rows * inner.Rows * p.CPUOperatorCost
+		} else if inner.Rows <= outer.Rows {
+			extra = e.hashCost(inner.Rows, inner.Width, outer.Rows, outer.Width)
+		} else {
+			extra = e.hashCost(outer.Rows, outer.Width, inner.Rows, inner.Width)
+		}
+		hj := &PlanNode{
+			Op: OpHashJoin, Children: []*PlanNode{outer, inner},
+			Rows: rows, Width: width,
+			SelfCost: extra + rows*p.CPUTupleCost,
+		}
+		hj.Cost = outer.Cost + inner.Cost + hj.SelfCost
+		add(newMask, hj)
+
+		// Merge join per join condition.
+		for _, c := range conds {
+			o := outer
+			if !satisfiesOrder(o.Order, []string{c.outerCol}) {
+				o = e.sortNode(o, []string{c.outerCol})
+			}
+			in := inner
+			innerOrderCol := tname + "." + c.innerCol
+			if !satisfiesOrder(in.Order, []string{innerOrderCol}) {
+				in = e.sortNode(in, []string{innerOrderCol})
+			}
+			mj := &PlanNode{
+				Op: OpMergeJoin, Children: []*PlanNode{o, in},
+				Rows: rows, Width: width, Order: o.Order,
+				SelfCost: (o.Rows + in.Rows) * p.CPUOperatorCost,
+			}
+			mj.Cost = o.Cost + in.Cost + mj.SelfCost
+			add(newMask, mj)
+		}
+	}
+
+	// Index nested-loop join: inner is a repeated lookup, which cannot
+	// honor a forced order requirement on the inner table.
+	if req, constrained := lookupForced(forced, tname); !constrained || len(req) == 0 {
+		for _, c := range conds {
+			leaf := e.lookupLeaf(q, tname, cfg, c.innerCol, tNeed)
+			if leaf == nil {
+				continue
+			}
+			rows := joinRows(outer.Rows, e.tableRows(tname)*e.localSel(q, tname), sels)
+			inner := &PlanNode{
+				Op: OpIndexLookup, Table: tname, Index: leaf.Index,
+				Rows: leaf.Rows, Width: leaf.Width,
+				Lookups:   outer.Rows,
+				LookupCol: c.innerCol,
+				SelfCost:  outer.Rows * leaf.SelfCost * p.NLFudge,
+			}
+			inner.Cost = inner.SelfCost
+			nl := &PlanNode{
+				Op: OpNLJoin, Children: []*PlanNode{outer, inner},
+				Rows: rows, Width: outer.Width + leaf.Width, Order: outer.Order,
+				SelfCost: rows * p.CPUTupleCost,
+			}
+			nl.Cost = outer.Cost + inner.Cost + nl.SelfCost
+			add(mask|1<<t, nl)
+		}
+	}
+}
+
+// pruneEntries drops dominated DP entries: an entry whose order is a
+// prefix of another entry's order and whose cost is higher is never
+// useful. It then caps the entry count.
+func pruneEntries(m map[string]*PlanNode) {
+	for k, nd := range m {
+		for _, other := range m {
+			if other == nd {
+				continue
+			}
+			if other.Cost <= nd.Cost && satisfiesOrder(other.Order, nd.Order) {
+				delete(m, k)
+				break
+			}
+		}
+	}
+	if len(m) <= maxEntriesPerMask {
+		return
+	}
+	type kv struct {
+		k string
+		c float64
+	}
+	all := make([]kv, 0, len(m))
+	for k, nd := range m {
+		all = append(all, kv{k, nd.Cost})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].c < all[j].c })
+	for _, e := range all[maxEntriesPerMask:] {
+		delete(m, e.k)
+	}
+}

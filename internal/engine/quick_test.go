@@ -1,0 +1,222 @@
+package engine
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/catalog"
+	"repro/internal/tpch"
+	"repro/internal/workload"
+)
+
+// TestQuickSelectivitiesInRange: property — every predicate
+// selectivity lies in (0, 1].
+func TestQuickSelectivitiesInRange(t *testing.T) {
+	cat := tpch.Build(tpch.Config{ScaleFactor: 0.05, Skew: 1})
+	e := New(cat, SystemA())
+	cols := []catalog.ColumnRef{
+		{Table: "lineitem", Column: "l_shipdate"},
+		{Table: "lineitem", Column: "l_quantity"},
+		{Table: "orders", Column: "o_orderdate"},
+		{Table: "part", Column: "p_size"},
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		col := cols[r.Intn(len(cols))]
+		var p workload.Predicate
+		switch r.Intn(4) {
+		case 0:
+			p = workload.Predicate{Col: col, Op: workload.OpEq, Lo: r.Float64()}
+		case 1:
+			lo := r.Float64()
+			p = workload.Predicate{Col: col, Op: workload.OpRange, Lo: lo, Hi: lo + r.Float64()*(1-lo)}
+		case 2:
+			p = workload.Predicate{Col: col, Op: workload.OpLt, Hi: r.Float64()}
+		default:
+			p = workload.Predicate{Col: col, Op: workload.OpGt, Lo: r.Float64()}
+		}
+		sel := e.predSel(p)
+		return sel > 0 && sel <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickPlanCostsFinite: property — every workload query optimizes
+// to a finite positive cost under random index configurations.
+func TestQuickPlanCostsFinite(t *testing.T) {
+	cat := tpch.Build(tpch.Config{ScaleFactor: 0.05})
+	e := New(cat, SystemA())
+	base := NewConfig(tpch.BaselineIndexes(cat)...)
+	w := workload.Hom(workload.HomConfig{Queries: 15, Seed: 31})
+	queries := w.Queries()
+	pool := []*catalog.Index{
+		{Table: "lineitem", Key: []string{"l_shipdate"}},
+		{Table: "lineitem", Key: []string{"l_partkey", "l_shipdate"}},
+		{Table: "orders", Key: []string{"o_orderdate"}, Include: []string{"o_custkey"}},
+		{Table: "customer", Key: []string{"c_mktsegment", "c_custkey"}},
+		{Table: "part", Key: []string{"p_brand", "p_size"}},
+		{Table: "supplier", Key: []string{"s_nationkey"}},
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		cfg := base.Union(nil)
+		for _, ix := range pool {
+			if r.Intn(2) == 0 {
+				cfg.Add(ix)
+			}
+		}
+		q := queries[r.Intn(len(queries))].Query
+		c, err := e.WhatIfCost(q, cfg)
+		return err == nil && c > 0 && !math.IsInf(c, 0) && !math.IsNaN(c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEmptyQueryRejected: failure injection — queries with no tables
+// or absurd joins must error, not panic.
+func TestEmptyQueryRejected(t *testing.T) {
+	cat := tpch.Build(tpch.Config{ScaleFactor: 0.05})
+	e := New(cat, SystemA())
+	if _, err := e.WhatIfPlan(&workload.Query{ID: "empty"}, NewConfig()); err == nil {
+		t.Fatal("empty query must error")
+	}
+	wide := &workload.Query{ID: "wide"}
+	for i := 0; i < 13; i++ {
+		wide.Tables = append(wide.Tables, "lineitem")
+	}
+	if _, err := e.WhatIfPlan(wide, NewConfig()); err == nil {
+		t.Fatal("13-table join must be rejected")
+	}
+}
+
+// TestUnknownTableGraceful: referencing a table missing from the
+// catalog degrades to an error, never a panic.
+func TestUnknownTableGraceful(t *testing.T) {
+	cat := tpch.Build(tpch.Config{ScaleFactor: 0.05})
+	e := New(cat, SystemA())
+	q := &workload.Query{
+		ID:     "ghost",
+		Tables: []string{"ghost_table"},
+		Select: []catalog.ColumnRef{{Table: "ghost_table", Column: "x"}},
+	}
+	if _, err := e.WhatIfPlan(q, NewConfig()); err == nil {
+		t.Fatal("unknown table must error")
+	}
+}
+
+// TestConfigOperations covers the Config helpers.
+func TestConfigOperations(t *testing.T) {
+	a := &catalog.Index{Table: "orders", Key: []string{"o_orderdate"}}
+	b := &catalog.Index{Table: "orders", Key: []string{"o_custkey"}}
+	cfg := NewConfig(a, a) // duplicate ignored
+	if cfg.Size() != 1 {
+		t.Fatalf("size = %d", cfg.Size())
+	}
+	u := cfg.Union(NewConfig(b))
+	if u.Size() != 2 || !u.Has(a) || !u.Has(b) {
+		t.Fatal("union broken")
+	}
+	if cfg.Size() != 1 {
+		t.Fatal("union mutated receiver")
+	}
+	var nilCfg *Config
+	if nilCfg.Size() != 0 || nilCfg.Has(a) || nilCfg.OnTable("orders") != nil {
+		t.Fatal("nil config helpers must be safe")
+	}
+	if got := nilCfg.Union(cfg); got.Size() != 1 {
+		t.Fatal("nil union broken")
+	}
+	ids := u.IDs()
+	if len(ids) != 2 || ids[0] > ids[1] {
+		t.Fatalf("IDs not sorted: %v", ids)
+	}
+	cat := tpch.Build(tpch.Config{ScaleFactor: 0.05})
+	if u.Bytes(cat) <= 0 {
+		t.Fatal("config bytes must be positive")
+	}
+}
+
+// TestPlanShapeInvariants: every optimized plan has exactly one leaf
+// per referenced table and strictly positive operator costs.
+func TestPlanShapeInvariants(t *testing.T) {
+	cat := tpch.Build(tpch.Config{ScaleFactor: 0.05})
+	e := New(cat, SystemA())
+	base := NewConfig(tpch.BaselineIndexes(cat)...)
+	w := workload.Het(workload.HetConfig{Queries: 50, Seed: 32})
+	for _, st := range w.Queries() {
+		p, err := e.WhatIfPlan(st.Query, base)
+		if err != nil {
+			t.Fatalf("%s: %v", st.Query.ID, err)
+		}
+		var walk func(n *PlanNode)
+		walk = func(n *PlanNode) {
+			if n.SelfCost < 0 {
+				t.Fatalf("%s: negative self cost at %v", st.Query.ID, n.Op)
+			}
+			if n.Rows < 0 {
+				t.Fatalf("%s: negative rows at %v", st.Query.ID, n.Op)
+			}
+			sum := n.SelfCost
+			for _, c := range n.Children {
+				sum += c.Cost
+				walk(c)
+			}
+			if n.Op == OpNLJoin {
+				// NL inner cost is embedded in the inner leaf.
+				return
+			}
+			if math.Abs(sum-n.Cost) > 1e-6*math.Max(1, n.Cost) {
+				t.Fatalf("%s: cost accounting broken at %v: %v vs %v", st.Query.ID, n.Op, sum, n.Cost)
+			}
+		}
+		walk(p.Root)
+	}
+}
+
+// TestInternalCostConsistency: InternalCost + leaf costs == total.
+func TestInternalCostConsistency(t *testing.T) {
+	cat := tpch.Build(tpch.Config{ScaleFactor: 0.05})
+	e := New(cat, SystemA())
+	base := NewConfig(tpch.BaselineIndexes(cat)...)
+	w := workload.Hom(workload.HomConfig{Queries: 15, Seed: 33})
+	for _, st := range w.Queries() {
+		p, err := e.WhatIfPlan(st.Query, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var leaves float64
+		for _, l := range p.Root.Leaves(nil) {
+			leaves += l.SelfCost
+		}
+		if math.Abs(p.Root.InternalCost()+leaves-p.Cost) > 1e-6*p.Cost {
+			t.Fatalf("%s: internal-cost identity broken", st.Query.ID)
+		}
+	}
+}
+
+// TestPlanFormatting exercises the EXPLAIN rendering.
+func TestPlanFormatting(t *testing.T) {
+	cat := tpch.Build(tpch.Config{ScaleFactor: 0.05})
+	e := New(cat, SystemA())
+	base := NewConfig(tpch.BaselineIndexes(cat)...)
+	w := workload.Hom(workload.HomConfig{Queries: 15, Seed: 34})
+	p, err := e.WhatIfPlan(w.Queries()[1].Query, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.String()
+	if len(s) == 0 {
+		t.Fatal("empty plan rendering")
+	}
+	for _, op := range []Op{OpSeqScan, OpIndexScan, OpIndexOnlyScan, OpClusteredScan, OpIndexLookup, OpNLJoin, OpHashJoin, OpMergeJoin, OpSort, OpHashAgg, OpStreamAgg} {
+		if op.String() == "" {
+			t.Fatalf("op %d renders empty", op)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cophy"
+	"repro/internal/engine"
+	"repro/internal/lagrange"
+)
+
+func TestSampleEvents(t *testing.T) {
+	mk := func(n int) []lagrange.Event {
+		out := make([]lagrange.Event, n)
+		for i := range out {
+			out[i] = lagrange.Event{Iter: i}
+		}
+		return out
+	}
+	short := sampleEvents(mk(3), 6)
+	if len(short) != 3 {
+		t.Fatalf("short trace resampled: %d", len(short))
+	}
+	long := sampleEvents(mk(100), 6)
+	if len(long) != 6 {
+		t.Fatalf("sampled %d, want 6", len(long))
+	}
+	if long[0].Iter != 0 || long[5].Iter != 99 {
+		t.Fatalf("endpoints lost: %d..%d", long[0].Iter, long[5].Iter)
+	}
+	for i := 1; i < len(long); i++ {
+		if long[i].Iter <= long[i-1].Iter {
+			t.Fatal("samples not increasing")
+		}
+	}
+}
+
+func TestPaddedCandidates(t *testing.T) {
+	e := newEnv(0, engine.SystemA())
+	cfg := Config{Scale: 0.05, Seed: 1}.defaults()
+	w := cfg.hom(250)
+	base := cophy.Candidates(e.cat, w, cophy.CGenOptions{})
+	out := padded(e.cat, base, len(base)+50, 7)
+	if len(out) != len(base)+50 {
+		t.Fatalf("padded to %d, want %d", len(out), len(base)+50)
+	}
+	seen := map[string]bool{}
+	for _, ix := range out {
+		if seen[ix.ID()] {
+			t.Fatalf("padded set duplicates %s", ix.ID())
+		}
+		seen[ix.ID()] = true
+	}
+	// Padding never shrinks.
+	if same := padded(e.cat, base, len(base)-5, 7); len(same) != len(base) {
+		t.Fatal("padded must be a no-op when target below current size")
+	}
+}
+
+func TestConfigScaling(t *testing.T) {
+	cfg := Config{Scale: 0.1}.defaults()
+	if got := cfg.size(1000); got != 100 {
+		t.Fatalf("size(1000) = %d", got)
+	}
+	if got := cfg.size(50); got != 20 {
+		t.Fatalf("floor not applied: %d", got)
+	}
+	d := Config{}.defaults()
+	if d.Scale != 1 || d.GapTol != 0.05 {
+		t.Fatalf("defaults = %+v", d)
+	}
+}
+
+func TestEnvPerfMetric(t *testing.T) {
+	e := newEnv(0, engine.SystemA())
+	cfg := Config{Scale: 0.05, Seed: 2}.defaults()
+	w := cfg.hom(250)
+	// Empty recommendation: zero improvement.
+	p, err := e.perf(w, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 0 {
+		t.Fatalf("perf of empty config = %v, want 0", p)
+	}
+}
+
+func TestSecsAndPct(t *testing.T) {
+	if secs(1500*time.Millisecond) != "1.50s" {
+		t.Fatalf("secs = %q", secs(1500*time.Millisecond))
+	}
+	if pct(0.5) != "50.0%" {
+		t.Fatalf("pct = %q", pct(0.5))
+	}
+	if ratio(1.234) != "1.23" {
+		t.Fatalf("ratio = %q", ratio(1.234))
+	}
+}
+

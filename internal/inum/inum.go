@@ -1,0 +1,558 @@
+// Package inum implements INUM (Papadomanolakis, Dash, Ailamaki,
+// VLDB 2007): a cache of template plans that makes what-if
+// optimization orders of magnitude cheaper. For each query, INUM makes
+// a few carefully selected optimizer calls (one per interesting-order
+// combination), strips the access-method leaves out of the returned
+// plans, and caches the resulting template plans. Evaluating
+// cost(q, X) for an arbitrary configuration X then requires no
+// optimizer call at all: each template contributes its internal plan
+// cost β plus, per slot, the cheapest compatible access cost γ among
+// the indexes of X — the linearly composable form of Definition 1 in
+// the CoPhy paper.
+package inum
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/engine"
+	"repro/internal/workload"
+)
+
+// SlotMode distinguishes the two ways a template accesses a table.
+type SlotMode int
+
+const (
+	// SlotScan is a single-pass access, optionally constrained to
+	// deliver a sort order.
+	SlotScan SlotMode = iota
+	// SlotLookup is a repeated point-lookup access driven by a
+	// nested-loop join; its γ scales with the probe count.
+	SlotLookup
+)
+
+// Slot is one access-method hole of a template plan.
+type Slot struct {
+	// Table is the accessed table.
+	Table string
+	// Mode is the access style.
+	Mode SlotMode
+	// RequiredOrder is the qualified sort order the slot must deliver
+	// (scan slots only; empty means any access works).
+	RequiredOrder []string
+	// JoinCol is the probed column (lookup slots only).
+	JoinCol string
+	// Lookups is the probe multiplicity (lookup slots only).
+	Lookups float64
+	// NeedCols are the columns of Table the query touches; they decide
+	// whether an index is covering in this slot.
+	NeedCols []string
+}
+
+// Template is one cached template plan: the internal (non-leaf) cost β
+// plus the slots that access methods plug into.
+type Template struct {
+	// Internal is β: the execution cost of the internal operators.
+	Internal float64
+	// Slots lists the access-method holes, one per referenced table.
+	Slots []Slot
+}
+
+// signature canonically identifies the template's slot structure.
+func (t *Template) signature() string {
+	parts := make([]string, len(t.Slots))
+	for i, s := range t.Slots {
+		parts[i] = fmt.Sprintf("%s/%d/%s/%s/%.0f", s.Table, s.Mode, strings.Join(s.RequiredOrder, "+"), s.JoinCol, s.Lookups)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ";") + fmt.Sprintf("|%.3f", t.Internal)
+}
+
+// QueryInfo is the INUM cache entry for one query: its template plans
+// TPlans(q) plus memoized γ values.
+type QueryInfo struct {
+	Query     *workload.Query
+	Templates []*Template
+
+	mu    sync.Mutex
+	gamma map[gammaKey]float64
+}
+
+type gammaKey struct {
+	tmpl, slot int
+	index      string // canonical index ID; "" for I∅
+}
+
+// Cache is the INUM layer over one engine. It is safe for concurrent
+// use after Prepare.
+type Cache struct {
+	Eng *engine.Engine
+
+	mu      sync.Mutex
+	queries map[string]*QueryInfo
+
+	// PrepCalls counts the what-if optimizations spent preparing
+	// template plans (the "INUM time" component of the paper's
+	// breakdowns).
+	PrepCalls int64
+	// PrepDuration is the wall time spent in Prepare.
+	PrepDuration time.Duration
+
+	// MaxTemplates caps K_q per query.
+	MaxTemplates int
+	// MaxCombos caps the number of interesting-order combinations
+	// enumerated per query.
+	MaxCombos int
+}
+
+// New returns an empty INUM cache over the engine.
+func New(eng *engine.Engine) *Cache {
+	return &Cache{
+		Eng:          eng,
+		queries:      make(map[string]*QueryInfo),
+		MaxTemplates: 10,
+		MaxCombos:    48,
+	}
+}
+
+// Prepare populates the cache for every query of the workload
+// (SELECT statements and update query shells), in parallel.
+func (c *Cache) Prepare(w *workload.Workload) {
+	start := time.Now()
+	queries := w.Queries()
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for _, s := range queries {
+		q := s.Query
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			c.PrepareQuery(q)
+		}()
+	}
+	wg.Wait()
+	c.mu.Lock()
+	c.PrepDuration += time.Since(start)
+	c.mu.Unlock()
+}
+
+// PrepareQuery builds (or returns) the template plans for one query.
+func (c *Cache) PrepareQuery(q *workload.Query) *QueryInfo {
+	c.mu.Lock()
+	if qi, ok := c.queries[q.ID]; ok {
+		c.mu.Unlock()
+		return qi
+	}
+	c.mu.Unlock()
+
+	qi := c.buildTemplates(q)
+
+	c.mu.Lock()
+	if prior, ok := c.queries[q.ID]; ok {
+		c.mu.Unlock()
+		return prior
+	}
+	c.queries[q.ID] = qi
+	c.mu.Unlock()
+	return qi
+}
+
+// Info returns the cache entry for a prepared query, or nil.
+func (c *Cache) Info(q *workload.Query) *QueryInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.queries[q.ID]
+}
+
+// interestingOrders returns the per-table candidate orders of a query:
+// single join columns, the group-by prefix and the order-by prefix
+// restricted to the table.
+func interestingOrders(q *workload.Query, table string) [][]string {
+	var out [][]string
+	seen := map[string]bool{}
+	add := func(order []string) {
+		if len(order) == 0 {
+			return
+		}
+		k := strings.Join(order, ",")
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, order)
+		}
+	}
+	for _, jc := range q.JoinColsOf(table) {
+		add([]string{table + "." + jc})
+	}
+	var group []string
+	for _, g := range q.GroupBy {
+		if g.Table != table {
+			break
+		}
+		group = append(group, g.String())
+	}
+	add(group)
+	var ord []string
+	for _, o := range q.OrderBy {
+		if o.Table != table {
+			break
+		}
+		ord = append(ord, o.String())
+	}
+	add(ord)
+	return out
+}
+
+// buildTemplates enumerates interesting-order combinations, optimizes
+// each with forced orders, and extracts the Pareto set of templates.
+func (c *Cache) buildTemplates(q *workload.Query) *QueryInfo {
+	qi := &QueryInfo{Query: q, gamma: make(map[gammaKey]float64)}
+
+	needCols := make(map[string][]string, len(q.Tables))
+	for _, t := range q.Tables {
+		needCols[t] = q.ColumnsOf(t)
+	}
+
+	// Synthetic configuration for template extraction: for every
+	// interesting order a covering hypothetical index, so the
+	// optimizer can exhibit order-exploiting plan shapes. This mirrors
+	// INUM's "carefully selected what-if calls".
+	perTable := make([][][]string, len(q.Tables))
+	synth := engine.NewConfig()
+	for i, t := range q.Tables {
+		orders := interestingOrders(q, t)
+		if len(orders) > 3 {
+			orders = orders[:3]
+		}
+		perTable[i] = append([][]string{nil}, orders...)
+		for _, o := range orders {
+			key := make([]string, len(o))
+			for j, qc := range o {
+				key[j] = strings.TrimPrefix(qc, t+".")
+			}
+			synth.Add(&catalog.Index{Table: t, Key: key, Include: remainder(needCols[t], key)})
+		}
+		// A plain covering index encourages lookup/covering shapes.
+		if jcs := q.JoinColsOf(t); len(jcs) > 0 {
+			synth.Add(&catalog.Index{Table: t, Key: []string{jcs[0]}, Include: remainder(needCols[t], []string{jcs[0]})})
+		}
+	}
+
+	var calls int64
+	addPlan := func(p *engine.Plan, forced map[string][]string) {
+		if p == nil {
+			return
+		}
+		qi.addTemplate(extract(p, forced, needCols))
+	}
+
+	// Fallback template: unordered scans only; instantiable by the
+	// empty atomic configuration, guaranteeing cost(q, X) < ∞ for
+	// every X.
+	fallback := make(map[string][]string, len(q.Tables))
+	for _, t := range q.Tables {
+		fallback[t] = []string{}
+	}
+	if p, err := c.Eng.TemplatePlan(q, engine.NewConfig(), fallback); err == nil {
+		calls++
+		addPlan(p, fallback)
+	}
+
+	// Unconstrained call under the synthetic configuration.
+	if p, err := c.Eng.TemplatePlan(q, synth, nil); err == nil {
+		calls++
+		addPlan(p, nil)
+	}
+
+	// Mixed-radix walk over order combinations.
+	combos := 1
+	for _, opts := range perTable {
+		combos *= len(opts)
+	}
+	limit := c.MaxCombos
+	for ci := 1; ci < combos && ci <= limit; ci++ {
+		forced := make(map[string][]string)
+		rest := ci
+		for i, opts := range perTable {
+			choice := rest % len(opts)
+			rest /= len(opts)
+			if choice > 0 {
+				forced[q.Tables[i]] = opts[choice]
+			}
+		}
+		if len(forced) == 0 {
+			continue
+		}
+		p, err := c.Eng.TemplatePlan(q, synth, forced)
+		calls++
+		if err != nil {
+			continue
+		}
+		addPlan(p, forced)
+	}
+
+	qi.prune(c.MaxTemplates)
+
+	c.mu.Lock()
+	c.PrepCalls += calls
+	c.mu.Unlock()
+	return qi
+}
+
+// remainder returns cols minus the key columns.
+func remainder(cols, key []string) []string {
+	var out []string
+	for _, col := range cols {
+		inKey := false
+		for _, k := range key {
+			if k == col {
+				inKey = true
+				break
+			}
+		}
+		if !inKey {
+			out = append(out, col)
+		}
+	}
+	return out
+}
+
+// extract converts a forced physical plan into a template: β is the
+// internal cost; each leaf becomes a slot whose order requirement is
+// the forced order of its table (not the incidental order of the index
+// the optimizer happened to pick).
+func extract(p *engine.Plan, forced map[string][]string, needCols map[string][]string) *Template {
+	t := &Template{Internal: p.Root.InternalCost()}
+	for _, leaf := range p.Root.Leaves(nil) {
+		s := Slot{Table: leaf.Table, NeedCols: needCols[leaf.Table]}
+		if leaf.Op == engine.OpIndexLookup {
+			s.Mode = SlotLookup
+			s.JoinCol = leaf.LookupCol
+			s.Lookups = leaf.Lookups
+		} else {
+			s.Mode = SlotScan
+			if req, ok := forced[leaf.Table]; ok && len(req) > 0 {
+				s.RequiredOrder = req
+			}
+		}
+		t.Slots = append(t.Slots, s)
+	}
+	return t
+}
+
+// addTemplate inserts a template unless an identical signature exists.
+func (qi *QueryInfo) addTemplate(t *Template) {
+	sig := t.signature()
+	for _, prior := range qi.Templates {
+		if prior.signature() == sig {
+			return
+		}
+	}
+	qi.Templates = append(qi.Templates, t)
+}
+
+// prune drops dominated templates and caps the count at maxK, keeping
+// the template set sorted by β. A template T1 is dominated by T2 when
+// T2's internal cost is no higher and every T1 slot is at least as
+// constrained as the matching T2 slot (same mode and join column,
+// required order extends T2's).
+func (qi *QueryInfo) prune(maxK int) {
+	sort.Slice(qi.Templates, func(i, j int) bool { return qi.Templates[i].Internal < qi.Templates[j].Internal })
+	var kept []*Template
+	for _, t := range qi.Templates {
+		dominated := false
+		for _, winner := range kept {
+			if dominates(winner, t) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			kept = append(kept, t)
+		}
+	}
+	// Always retain the fallback (all-scan, no-order) template if
+	// present, even beyond the cap.
+	if len(kept) > maxK {
+		var fallback *Template
+		for _, t := range kept[maxK:] {
+			if t.isFallback() {
+				fallback = t
+				break
+			}
+		}
+		kept = kept[:maxK]
+		if fallback != nil {
+			hasFallback := false
+			for _, t := range kept {
+				if t.isFallback() {
+					hasFallback = true
+					break
+				}
+			}
+			if !hasFallback {
+				kept[len(kept)-1] = fallback
+			}
+		}
+	}
+	qi.Templates = kept
+}
+
+// isFallback reports whether every slot is an unconstrained scan.
+func (t *Template) isFallback() bool {
+	for _, s := range t.Slots {
+		if s.Mode != SlotScan || len(s.RequiredOrder) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// dominates reports whether template a makes template b redundant.
+func dominates(a, b *Template) bool {
+	if a.Internal > b.Internal*1.0001+1e-9 {
+		return false
+	}
+	if len(a.Slots) != len(b.Slots) {
+		return false
+	}
+	bByTable := make(map[string]*Slot, len(b.Slots))
+	for i := range b.Slots {
+		bByTable[b.Slots[i].Table] = &b.Slots[i]
+	}
+	for i := range a.Slots {
+		sa := &a.Slots[i]
+		sb := bByTable[sa.Table]
+		if sb == nil || sa.Mode != sb.Mode {
+			return false
+		}
+		switch sa.Mode {
+		case SlotLookup:
+			if sa.JoinCol != sb.JoinCol || sa.Lookups > sb.Lookups*1.0001 {
+				return false
+			}
+		case SlotScan:
+			// a's requirement must be a prefix of b's (weaker or equal).
+			if len(sa.RequiredOrder) > len(sb.RequiredOrder) {
+				return false
+			}
+			for j, c := range sa.RequiredOrder {
+				if sb.RequiredOrder[j] != c {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Gamma returns γ_{qkia}: the access cost of implementing slot si of
+// template ti with index ix (nil means I∅, the heap). The boolean is
+// false when the access method cannot implement the slot (γ = ∞).
+// Results are memoized per query.
+func (c *Cache) Gamma(qi *QueryInfo, ti, si int, ix *catalog.Index) (float64, bool) {
+	key := gammaKey{tmpl: ti, slot: si}
+	if ix != nil {
+		key.index = ix.ID()
+	}
+	qi.mu.Lock()
+	if v, ok := qi.gamma[key]; ok {
+		qi.mu.Unlock()
+		return v, !math.IsInf(v, 1)
+	}
+	qi.mu.Unlock()
+
+	s := &qi.Templates[ti].Slots[si]
+	var v float64
+	var ok bool
+	switch s.Mode {
+	case SlotScan:
+		v, ok = c.Eng.SlotScanCost(qi.Query, s.Table, ix, s.RequiredOrder, s.NeedCols)
+	case SlotLookup:
+		v, ok = c.Eng.SlotLookupCost(qi.Query, s.Table, ix, s.JoinCol, s.Lookups, s.NeedCols)
+	}
+	if !ok {
+		v = math.Inf(1)
+	}
+	qi.mu.Lock()
+	qi.gamma[key] = v
+	qi.mu.Unlock()
+	return v, ok
+}
+
+// Cost returns the INUM approximation of cost(q, X): the minimum over
+// template plans and atomic configurations of the instantiated plan
+// cost. It never calls the what-if optimizer.
+func (c *Cache) Cost(q *workload.Query, cfg *engine.Config) (float64, error) {
+	qi := c.PrepareQuery(q)
+	if len(qi.Templates) == 0 {
+		return 0, fmt.Errorf("inum: no templates for query %s", q.ID)
+	}
+	best := math.Inf(1)
+	for ti, t := range qi.Templates {
+		total := t.Internal
+		feasible := true
+		for si := range t.Slots {
+			s := &t.Slots[si]
+			slotBest := math.Inf(1)
+			if g, ok := c.Gamma(qi, ti, si, nil); ok {
+				slotBest = g
+			}
+			for _, ix := range cfg.OnTable(s.Table) {
+				if g, ok := c.Gamma(qi, ti, si, ix); ok && g < slotBest {
+					slotBest = g
+				}
+			}
+			if math.IsInf(slotBest, 1) {
+				feasible = false
+				break
+			}
+			total += slotBest
+		}
+		if feasible && total < best {
+			best = total
+		}
+	}
+	if math.IsInf(best, 1) {
+		return 0, fmt.Errorf("inum: no instantiable template for query %s", q.ID)
+	}
+	return best, nil
+}
+
+// StatementCost mirrors engine.StatementCost but uses the INUM
+// approximation for the query part.
+func (c *Cache) StatementCost(s *workload.Statement, cfg *engine.Config) (float64, error) {
+	if s.Query != nil {
+		return c.Cost(s.Query, cfg)
+	}
+	u := s.Update
+	cost, err := c.Cost(u.Shell(), cfg)
+	if err != nil {
+		return 0, err
+	}
+	for _, ix := range cfg.Indexes() {
+		cost += c.Eng.UpdateCost(u, ix)
+	}
+	return cost + c.Eng.BaseUpdateCost(u), nil
+}
+
+// WorkloadCost returns Σ f_q · cost(q, X) using the INUM
+// approximation throughout.
+func (c *Cache) WorkloadCost(w *workload.Workload, cfg *engine.Config) (float64, error) {
+	var sum float64
+	for _, s := range w.Statements {
+		v, err := c.StatementCost(s, cfg)
+		if err != nil {
+			return 0, err
+		}
+		sum += s.Weight * v
+	}
+	return sum, nil
+}

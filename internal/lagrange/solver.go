@@ -1,0 +1,690 @@
+package lagrange
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/bip"
+	"repro/internal/lp"
+)
+
+// checkBinaryFeasible decides binary feasibility of the small z
+// polytope exactly with the generic BIP solver.
+func checkBinaryFeasible(p *lp.Problem, bins []int) bool {
+	r := bip.Solve(bip.Model{P: p, Binaries: bins}, bip.Options{MaxNodes: 5000})
+	return r.Status != bip.Infeasible
+}
+
+// Event is one progress report of the solver: its current bound pair.
+// The stream of events is the "continuous feedback on the distance
+// between the current and the final solution" of §3 implication 3.
+type Event struct {
+	Elapsed time.Duration
+	// Iter is the subgradient iteration (cumulative across nodes).
+	Iter int
+	// Lower is the best proven lower bound.
+	Lower float64
+	// Upper is the best incumbent objective.
+	Upper float64
+	// Gap is (Upper − Lower)/|Upper|.
+	Gap float64
+}
+
+// Multipliers carries the dual state of a solve for warm starts. One
+// multiplier exists per use site — per (block, choice, slot, option)
+// with a real index, mirroring the x_{qkia} variables of Theorem 1
+// whose linking constraints the relax(B) step moves into the
+// objective. Sites are keyed by (choice, slot, index) so warm starts
+// survive appended candidates (interactive tuning adds options without
+// renumbering existing ones).
+type Multipliers struct {
+	keys [][]siteKey
+	vals [][]float64
+}
+
+// siteKey stably identifies a use site within a block.
+type siteKey struct {
+	choice, slot int32
+	index        int32
+}
+
+// Options configure a solve.
+type Options struct {
+	// GapTol stops the search at this relative gap. The paper's
+	// default CPLEX tuning is 5% (§5.1); zero means 1e-6.
+	GapTol float64
+	// RootIters caps subgradient iterations at the root (default 240).
+	RootIters int
+	// NodeIters caps subgradient iterations per branch node (default
+	// RootIters/4).
+	NodeIters int
+	// MaxNodes caps branch-and-bound nodes beyond the root (default
+	// 48; 0 keeps the default, negative disables branching).
+	MaxNodes int
+	// TimeLimit stops the search after this duration (0 = none).
+	TimeLimit time.Duration
+	// Start is a MIP start: an initial selection used as incumbent
+	// when feasible.
+	Start []bool
+	// Warm is a dual warm start from a previous, structurally similar
+	// solve (same blocks, possibly more indexes). It is what makes
+	// interactive re-tuning cheap (Figure 6b).
+	Warm *Multipliers
+	// Progress receives bound events as the solve advances.
+	Progress func(Event)
+	// DisableRelaxation turns off the Lagrangian relax(B) step and
+	// bounds only with the z-polytope LP, ignoring query structure.
+	// Exists for the ablation benchmark; always worse.
+	DisableRelaxation bool
+}
+
+// Result is the outcome of a solve.
+type Result struct {
+	// Selected is the incumbent selection (len NumIndexes).
+	Selected []bool
+	// Objective is the incumbent's true objective value.
+	Objective float64
+	// Lower is the final proven lower bound.
+	Lower float64
+	// Gap is the final relative gap.
+	Gap float64
+	// Iters counts subgradient iterations performed.
+	Iters int
+	// Nodes counts branch-and-bound nodes beyond the root.
+	Nodes int
+	// Lambda is the final dual state, reusable as Options.Warm.
+	Lambda *Multipliers
+	// Infeasible is true when the constraints admit no selection.
+	Infeasible bool
+}
+
+// solver is the compiled working state.
+type solver struct {
+	m    *Model
+	opts Options
+
+	// Per block: one multiplier per *group*. Without DistinctPerChoice
+	// a group is one use site, in deterministic (choice, slot, option)
+	// iteration order; with it, all sites of an index within the block
+	// share a group, which strengthens the dual. siteGroup maps each
+	// site to its group (−1 for NoIndex options); groupIdx holds the
+	// index id of each group.
+	lam       [][]float64
+	siteGroup [][]int32
+	groupIdx  [][]int32
+	keys      [][]siteKey
+
+	// attract[a] = Σ_sites w_b·λ_site over sites using index a,
+	// maintained incrementally.
+	attract []float64
+
+	start time.Time
+	iters int
+
+	fixedIn   []bool
+	fixedOut  []bool
+	nodeCount int
+
+	bestSel []bool
+	bestObj float64
+	lower   float64
+	events  func(Event)
+}
+
+// Solve optimizes the model.
+func Solve(m *Model, opts Options) Result {
+	if err := m.Validate(); err != nil {
+		panic(err) // programming error in the model builder
+	}
+	if opts.GapTol <= 0 {
+		opts.GapTol = 1e-6
+	}
+	if opts.RootIters <= 0 {
+		opts.RootIters = 240
+	}
+	if opts.NodeIters <= 0 {
+		opts.NodeIters = opts.RootIters / 4
+	}
+	if opts.MaxNodes == 0 {
+		opts.MaxNodes = 48
+	}
+
+	if ok, _ := m.CheckFeasible(); !ok {
+		return Result{Infeasible: true, Gap: math.Inf(1)}
+	}
+
+	s := &solver{
+		m:        m,
+		opts:     opts,
+		attract:  make([]float64, m.NumIndexes),
+		start:    time.Now(),
+		fixedIn:  make([]bool, m.NumIndexes),
+		fixedOut: make([]bool, m.NumIndexes),
+		bestObj:  math.Inf(1),
+		lower:    math.Inf(-1),
+		events:   opts.Progress,
+	}
+	s.compile()
+	if opts.Warm != nil {
+		s.applyWarm(opts.Warm)
+	}
+	if opts.Start != nil && len(opts.Start) == m.NumIndexes {
+		if ok, _ := m.SelectionFeasible(opts.Start); ok {
+			if obj, ok2 := m.Evaluate(opts.Start); ok2 {
+				s.bestSel = append([]bool(nil), opts.Start...)
+				s.bestObj = obj
+			}
+		}
+	}
+
+	// Root relaxation.
+	rootLB, zFrac, used := s.subgradient(opts.RootIters, true)
+	if rootLB > s.lower {
+		s.lower = rootLB
+	}
+	s.emit()
+
+	// Branch and bound to close the gap.
+	if s.gap() > opts.GapTol && opts.MaxNodes > 0 && !s.timeUp() {
+		s.branch(zFrac, used, opts.MaxNodes)
+	}
+
+	if s.bestSel == nil {
+		// Fall back to the empty selection when it is genuinely
+		// feasible (it may not be under per-statement cost caps).
+		empty := make([]bool, m.NumIndexes)
+		if ok, _ := m.SelectionFeasible(empty); ok {
+			if obj, evalOK := m.Evaluate(empty); evalOK {
+				s.bestSel, s.bestObj = empty, obj
+			}
+		}
+	}
+	if s.bestSel == nil {
+		// No incumbent at all: the z polytope is feasible but the
+		// cost caps reject every selection the search visited.
+		return Result{Infeasible: true, Gap: math.Inf(1), Lower: s.lower, Iters: s.iters, Nodes: s.nodeCount}
+	}
+	s.dropRedundant()
+	gap := s.gap()
+	return Result{
+		Selected:  s.bestSel,
+		Objective: s.bestObj,
+		Lower:     s.lower,
+		Gap:       gap,
+		Iters:     s.iters,
+		Nodes:     s.nodeCount,
+		Lambda:    s.exportLambda(),
+	}
+}
+
+// compile enumerates the use sites of every block and allocates their
+// multiplier groups.
+func (s *solver) compile() {
+	m := s.m
+	s.lam = make([][]float64, len(m.Blocks))
+	s.siteGroup = make([][]int32, len(m.Blocks))
+	s.groupIdx = make([][]int32, len(m.Blocks))
+	s.keys = make([][]siteKey, len(m.Blocks))
+	for bi := range m.Blocks {
+		var siteGroup []int32
+		var groupIdx []int32
+		var keys []siteKey
+		byIndex := map[int32]int32{} // aggregated mode: index → group
+		for ci, c := range m.Blocks[bi].Choices {
+			for si, slot := range c.Slots {
+				for _, o := range slot {
+					if o.Index == NoIndex {
+						siteGroup = append(siteGroup, -1)
+						continue
+					}
+					if m.DistinctPerChoice {
+						g, ok := byIndex[o.Index]
+						if !ok {
+							g = int32(len(groupIdx))
+							byIndex[o.Index] = g
+							groupIdx = append(groupIdx, o.Index)
+							keys = append(keys, siteKey{choice: -1, slot: -1, index: o.Index})
+						}
+						siteGroup = append(siteGroup, g)
+					} else {
+						g := int32(len(groupIdx))
+						groupIdx = append(groupIdx, o.Index)
+						keys = append(keys, siteKey{choice: int32(ci), slot: int32(si), index: o.Index})
+						siteGroup = append(siteGroup, g)
+					}
+				}
+			}
+		}
+		s.siteGroup[bi] = siteGroup
+		s.groupIdx[bi] = groupIdx
+		s.keys[bi] = keys
+		s.lam[bi] = make([]float64, len(groupIdx))
+	}
+}
+
+// applyWarm copies multipliers from a previous solve, matching groups
+// by key. Groups unknown to the old solve (options added since — the
+// interactive-tuning delta) are then *repriced*: each new option
+// receives the smallest multiplier that keeps it from undercutting its
+// slot's current dual minimum. Without repricing, fresh zero
+// multipliers would collapse the block duals and squander the warm
+// start — with it, the first iteration's bound matches the previous
+// solve's, which is precisely the computation reuse behind Figure 6(b).
+func (s *solver) applyWarm(w *Multipliers) {
+	if len(w.keys) != len(s.keys) {
+		return // block structure changed; cold start
+	}
+	for bi := range s.keys {
+		wt := s.m.Blocks[bi].Weight
+		old := make(map[siteKey]float64, len(w.keys[bi]))
+		for k, key := range w.keys[bi] {
+			old[key] = w.vals[bi][k]
+		}
+		matched := make([]bool, len(s.keys[bi]))
+		for k, key := range s.keys[bi] {
+			if v, ok := old[key]; ok && key.index != NoIndex && int(key.index) < s.m.NumIndexes {
+				s.lam[bi][k] = v
+				s.attract[key.index] += wt * v
+				matched[k] = true
+			}
+		}
+		s.repriceNew(bi, matched)
+	}
+}
+
+// repriceNew assigns multipliers to unmatched groups of block bi so
+// that no slot's dual minimum drops below its value under the matched
+// multipliers alone.
+func (s *solver) repriceNew(bi int, matched []bool) {
+	b := &s.m.Blocks[bi]
+	groups := s.siteGroup[bi]
+	lam := s.lam[bi]
+	need := make([]float64, len(lam)) // required λ per unmatched group
+
+	site := 0
+	for ci := range b.Choices {
+		for _, slot := range b.Choices[ci].Slots {
+			// Pass 1: the slot's dual minimum over free and matched
+			// options.
+			slotMin := math.Inf(1)
+			start := site
+			for _, o := range slot {
+				g := groups[site]
+				site++
+				cost := o.Cost
+				if g >= 0 {
+					if !matched[g] {
+						continue
+					}
+					cost += lam[g]
+				}
+				if cost < slotMin {
+					slotMin = cost
+				}
+			}
+			if math.IsInf(slotMin, 1) {
+				continue // slot entirely new; leave its λ at zero
+			}
+			// Pass 2: raise unmatched options to the minimum.
+			site = start
+			for _, o := range slot {
+				g := groups[site]
+				site++
+				if g < 0 || matched[g] {
+					continue
+				}
+				if d := slotMin - o.Cost; d > need[g] {
+					need[g] = d
+				}
+			}
+		}
+	}
+	wt := b.Weight
+	for g, v := range need {
+		if v > 0 && !matched[g] {
+			lam[g] = v
+			s.attract[s.groupIdx[bi][g]] += wt * v
+		}
+	}
+}
+
+// exportLambda snapshots the dual state.
+func (s *solver) exportLambda() *Multipliers {
+	w := &Multipliers{keys: make([][]siteKey, len(s.keys)), vals: make([][]float64, len(s.keys))}
+	for bi := range s.keys {
+		w.keys[bi] = append([]siteKey(nil), s.keys[bi]...)
+		w.vals[bi] = append([]float64(nil), s.lam[bi]...)
+	}
+	return w
+}
+
+func (s *solver) timeUp() bool {
+	return s.opts.TimeLimit > 0 && time.Since(s.start) > s.opts.TimeLimit
+}
+
+func (s *solver) gap() float64 {
+	if math.IsInf(s.bestObj, 1) {
+		return math.Inf(1)
+	}
+	den := math.Abs(s.bestObj)
+	if den < 1e-9 {
+		den = 1e-9
+	}
+	g := (s.bestObj - s.lower) / den
+	if g < 0 {
+		return 0
+	}
+	return g
+}
+
+func (s *solver) emit() {
+	if s.events == nil {
+		return
+	}
+	s.events(Event{
+		Elapsed: time.Since(s.start),
+		Iter:    s.iters,
+		Lower:   s.lower,
+		Upper:   s.bestObj,
+		Gap:     s.gap(),
+	})
+}
+
+// blockDual evaluates block bi under the current multipliers,
+// returning the minimum Lagrangian choice value and the group
+// positions (into lam[bi]/groupIdx[bi]) the winning choice selects.
+// Indexes fixed out by branching are unavailable.
+func (s *solver) blockDual(bi int, usedBuf []int32) (float64, []int32) {
+	b := &s.m.Blocks[bi]
+	lam := s.lam[bi]
+	groups := s.siteGroup[bi]
+	best := math.Inf(1)
+	bestUses := usedBuf[:0]
+	var scratch []int32
+	site := 0
+	for ci := range b.Choices {
+		c := &b.Choices[ci]
+		v := c.Fixed
+		scratch = scratch[:0]
+		ok := true
+		for _, slot := range c.Slots {
+			slotBest := math.Inf(1)
+			slotGroup := int32(-1)
+			for _, o := range slot {
+				g := groups[site]
+				site++
+				cost := o.Cost
+				if o.Index != NoIndex {
+					if s.fixedOut[o.Index] {
+						continue
+					}
+					cost += lam[g]
+				}
+				if cost < slotBest {
+					slotBest = cost
+					slotGroup = g
+				}
+			}
+			if math.IsInf(slotBest, 1) {
+				ok = false
+				v = math.Inf(1)
+				continue
+			}
+			v += slotBest
+			if slotGroup >= 0 {
+				scratch = append(scratch, slotGroup)
+			}
+		}
+		if ok && v < best {
+			best = v
+			bestUses = append(bestUses[:0], scratch...)
+		}
+	}
+	return best, bestUses
+}
+
+// zSubproblem minimizes Σ (FixedCost[a] − attract[a])·z_a over the
+// relaxed z polytope. It returns the optimal value (a valid lower-
+// bound component) and the fractional minimizer.
+func (s *solver) zSubproblem() (float64, []float64) {
+	m := s.m
+	rc := make([]float64, m.NumIndexes)
+	for a := range rc {
+		rc[a] = m.FixedCost[a] - s.attract[a]
+	}
+	if len(m.Extra) == 0 {
+		return s.fractionalKnapsack(rc)
+	}
+	p := m.zPolytopeLP(rc, s.fixedIn, s.fixedOut)
+	sol := lp.Solve(p)
+	if sol.Status == lp.Infeasible {
+		return math.Inf(1), nil
+	}
+	return sol.Obj, sol.X
+}
+
+// fractionalKnapsack solves min Σ rc·z, Σ size·z ≤ Budget, z ∈ [0,1]
+// greedily (plus fixed variables). Negative-cost items are taken in
+// order of density until the budget binds.
+func (s *solver) fractionalKnapsack(rc []float64) (float64, []float64) {
+	m := s.m
+	z := make([]float64, m.NumIndexes)
+	budget := m.Budget
+	unlimited := budget < 0
+	val := 0.0
+	// Fixed-in variables are mandatory.
+	for a := range z {
+		if s.fixedIn[a] {
+			z[a] = 1
+			val += rc[a]
+			if !unlimited {
+				budget -= m.Size[a]
+			}
+		}
+	}
+	if !unlimited && budget < 0 {
+		return math.Inf(1), nil // fixings exceed the budget
+	}
+	type item struct {
+		a       int
+		density float64
+	}
+	items := make([]item, 0, m.NumIndexes)
+	for a := 0; a < m.NumIndexes; a++ {
+		if s.fixedIn[a] || s.fixedOut[a] || rc[a] >= 0 {
+			continue
+		}
+		sz := m.Size[a]
+		if sz <= 0 {
+			z[a] = 1
+			val += rc[a]
+			continue
+		}
+		items = append(items, item{a, rc[a] / sz})
+	}
+	if unlimited {
+		for _, it := range items {
+			z[it.a] = 1
+			val += rc[it.a]
+		}
+		return val, z
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].density < items[j].density })
+	for _, it := range items {
+		if budget <= 0 {
+			break
+		}
+		sz := s.m.Size[it.a]
+		if sz <= budget {
+			z[it.a] = 1
+			val += rc[it.a]
+			budget -= sz
+		} else {
+			f := budget / sz
+			z[it.a] = f
+			val += rc[it.a] * f
+			budget = 0
+		}
+	}
+	return val, z
+}
+
+// subgradient runs the dual ascent loop, interleaving primal
+// heuristics. It returns the best lower bound, the last fractional z,
+// and the per-index usage of the final block duals (the x̂ side of the
+// relaxed solution — branching targets x̂/ẑ disagreements). Only
+// root-level bounds (updateGlobal) may raise the solver's global lower
+// bound; bounds computed under branching fixings are valid for their
+// subtree only.
+func (s *solver) subgradient(iters int, updateGlobal bool) (float64, []float64, []bool) {
+	m := s.m
+	bestLB := math.Inf(-1)
+	theta := 2.0
+	stall := 0
+	var zLast []float64
+	usedLast := make([]bool, m.NumIndexes)
+
+	if s.opts.DisableRelaxation {
+		// Ablation mode: bound with λ = 0 only — each block priced as
+		// if every index were free. Exists to quantify what the
+		// relax(B) step buys; the bound never tightens.
+		lbConst := m.Const
+		for bi := range m.Blocks {
+			v, buf := s.blockDual(bi, nil)
+			for _, g := range buf {
+				usedLast[s.groupIdx[bi][g]] = true
+			}
+			lbConst += m.Blocks[bi].Weight * v
+		}
+		zv, zf := s.zSubproblem()
+		s.heuristics(zf)
+		return lbConst + math.Min(zv, 0), zf, usedLast
+	}
+
+	usedCount := make([]float64, m.NumIndexes)
+	for it := 0; it < iters; it++ {
+		if s.timeUp() {
+			break
+		}
+		s.iters++
+
+		// 1. Block duals and usage.
+		for a := range usedCount {
+			usedCount[a] = 0
+		}
+		lb := m.Const
+		var usedBuf []int32
+		blockUses := make([][]int32, len(m.Blocks))
+		for bi := range m.Blocks {
+			v, buf := s.blockDual(bi, usedBuf[:0])
+			lb += m.Blocks[bi].Weight * v
+			blockUses[bi] = append([]int32(nil), buf...)
+			for _, g := range buf {
+				usedCount[s.groupIdx[bi][g]]++
+			}
+		}
+
+		// 2. z subproblem.
+		zv, zf := s.zSubproblem()
+		if math.IsInf(zv, 1) {
+			// Current fixings infeasible.
+			return math.Inf(1), nil, nil
+		}
+		lb += zv
+		zLast = zf
+		for a := range usedLast {
+			usedLast[a] = usedCount[a] > 0
+		}
+
+		if lb > bestLB {
+			bestLB = lb
+			stall = 0
+			if updateGlobal && lb > s.lower {
+				s.lower = lb
+				s.emit()
+			}
+		} else {
+			stall++
+			if stall >= 12 {
+				theta /= 2
+				stall = 0
+				if theta < 1e-4 {
+					break
+				}
+			}
+		}
+
+		// 3. Primal heuristics every few iterations.
+		if it%6 == 0 || it == iters-1 {
+			s.heuristics(zf)
+			if s.gap() <= s.opts.GapTol {
+				break
+			}
+		}
+
+		// 4. Subgradient step on λ: g_ba = x_ba − z_a.
+		// Each site's multiplier is applied inside the weighted block
+		// term, so its effective coefficient is w_b·λ_site and the
+		// subgradient component is w_b·(x_site − z_a).
+		norm := 0.0
+		for bi := range m.Blocks {
+			wt := m.Blocks[bi].Weight
+			for k, id := range s.groupIdx[bi] {
+				var g float64
+				if contains(blockUses[bi], int32(k)) {
+					g = wt * (1 - zf[id])
+				} else if zf[id] > 0 || s.lam[bi][k] > 0 {
+					g = -wt * zf[id]
+				} else {
+					continue
+				}
+				norm += g * g
+			}
+		}
+		if norm < 1e-12 {
+			break
+		}
+		ub := s.bestObj
+		if math.IsInf(ub, 1) {
+			ub = bestLB * 1.5
+			if ub <= bestLB {
+				ub = bestLB + math.Abs(bestLB)*0.5 + 1
+			}
+		}
+		step := theta * (ub - lb) / norm
+		if step <= 0 {
+			step = math.Abs(lb)*1e-6 + 1e-6
+		}
+		for bi := range m.Blocks {
+			wt := m.Blocks[bi].Weight
+			lam := s.lam[bi]
+			for k, id := range s.groupIdx[bi] {
+				var g float64
+				if contains(blockUses[bi], int32(k)) {
+					g = wt * (1 - zf[id])
+				} else if zf[id] > 0 || lam[k] > 0 {
+					g = -wt * zf[id]
+				} else {
+					continue
+				}
+				nv := lam[k] + step*g
+				if nv < 0 {
+					nv = 0
+				}
+				s.attract[id] += wt * (nv - lam[k])
+				lam[k] = nv
+			}
+		}
+	}
+	return bestLB, zLast, usedLast
+}
+
+func contains(xs []int32, v int32) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

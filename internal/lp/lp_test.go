@@ -1,0 +1,283 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func approx(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Fatalf("%s: got %v, want %v", msg, got, want)
+	}
+}
+
+func TestSimpleMax(t *testing.T) {
+	// max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → (2, 6), obj 36.
+	p := NewProblem(2)
+	p.SetObj(0, -3)
+	p.SetObj(1, -5)
+	p.AddRow([]Coef{{0, 1}}, LE, 4)
+	p.AddRow([]Coef{{1, 2}}, LE, 12)
+	p.AddRow([]Coef{{0, 3}, {1, 2}}, LE, 18)
+	s := Solve(p)
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	approx(t, s.Obj, -36, 1e-6, "objective")
+	approx(t, s.X[0], 2, 1e-6, "x")
+	approx(t, s.X[1], 6, 1e-6, "y")
+}
+
+func TestEqualityAndGE(t *testing.T) {
+	// min x + 2y s.t. x + y = 10, x ≥ 3, y ≥ 2 → (8, 2), obj 12.
+	p := NewProblem(2)
+	p.SetObj(0, 1)
+	p.SetObj(1, 2)
+	p.AddRow([]Coef{{0, 1}, {1, 1}}, EQ, 10)
+	p.AddRow([]Coef{{0, 1}}, GE, 3)
+	p.AddRow([]Coef{{1, 1}}, GE, 2)
+	s := Solve(p)
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	approx(t, s.Obj, 12, 1e-6, "objective")
+	approx(t, s.X[0], 8, 1e-6, "x")
+}
+
+func TestVariableUpperBounds(t *testing.T) {
+	// min −x − y s.t. x + y ≤ 10, 0 ≤ x ≤ 3, 0 ≤ y ≤ 4 → (3,4), obj −7.
+	p := NewProblem(2)
+	p.SetObj(0, -1)
+	p.SetObj(1, -1)
+	p.SetBounds(0, 0, 3)
+	p.SetBounds(1, 0, 4)
+	p.AddRow([]Coef{{0, 1}, {1, 1}}, LE, 10)
+	s := Solve(p)
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	approx(t, s.Obj, -7, 1e-6, "objective")
+}
+
+func TestBoundFlipOnly(t *testing.T) {
+	// min −x with 0 ≤ x ≤ 5 and a vacuous constraint: optimum x = 5
+	// reached by a pure bound flip.
+	p := NewProblem(1)
+	p.SetObj(0, -1)
+	p.SetBounds(0, 0, 5)
+	p.AddRow([]Coef{{0, 1}}, LE, 100)
+	s := Solve(p)
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	approx(t, s.X[0], 5, 1e-9, "x at upper bound")
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem(1)
+	p.AddRow([]Coef{{0, 1}}, GE, 5)
+	p.AddRow([]Coef{{0, 1}}, LE, 3)
+	if s := Solve(p); s.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", s.Status)
+	}
+}
+
+func TestInfeasibleEquality(t *testing.T) {
+	p := NewProblem(2)
+	p.AddRow([]Coef{{0, 1}, {1, 1}}, EQ, 4)
+	p.AddRow([]Coef{{0, 1}, {1, 1}}, EQ, 6)
+	if s := Solve(p); s.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", s.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := NewProblem(1)
+	p.SetObj(0, -1) // min −x, x ≥ 0, no constraint
+	p.AddRow([]Coef{{0, -1}}, LE, 0)
+	if s := Solve(p); s.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", s.Status)
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// min x s.t. −x ≤ −4 (i.e. x ≥ 4) → x = 4.
+	p := NewProblem(1)
+	p.SetObj(0, 1)
+	p.AddRow([]Coef{{0, -1}}, LE, -4)
+	s := Solve(p)
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	approx(t, s.X[0], 4, 1e-6, "x")
+}
+
+func TestDuplicateCoefsMerged(t *testing.T) {
+	// x + x ≤ 4 means 2x ≤ 4.
+	p := NewProblem(1)
+	p.SetObj(0, -1)
+	p.AddRow([]Coef{{0, 1}, {0, 1}}, LE, 4)
+	s := Solve(p)
+	approx(t, s.X[0], 2, 1e-6, "merged coefficient")
+}
+
+func TestDegenerateEqualityBounds(t *testing.T) {
+	// Fixed variable via bounds: x = 2 exactly.
+	p := NewProblem(2)
+	p.SetObj(1, 1)
+	p.SetBounds(0, 2, 2)
+	p.AddRow([]Coef{{0, 1}, {1, 1}}, GE, 5)
+	s := Solve(p)
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	approx(t, s.X[0], 2, 1e-9, "fixed var")
+	approx(t, s.X[1], 3, 1e-6, "y")
+}
+
+func TestKnapsackRelaxation(t *testing.T) {
+	// Fractional knapsack: max Σ v_i x_i, Σ w_i x_i ≤ W, 0 ≤ x ≤ 1.
+	// Known solution by greedy density ordering.
+	vals := []float64{60, 100, 120}
+	wts := []float64{10, 20, 30}
+	p := NewProblem(3)
+	var coefs []Coef
+	for i := range vals {
+		p.SetObj(i, -vals[i])
+		p.SetBounds(i, 0, 1)
+		coefs = append(coefs, Coef{i, wts[i]})
+	}
+	p.AddRow(coefs, LE, 50)
+	s := Solve(p)
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	// Greedy: item0 (6/unit), item1 (5/unit), then 2/3 of item2.
+	approx(t, -s.Obj, 60+100+120*2.0/3, 1e-6, "knapsack relaxation")
+}
+
+func TestAssignmentLP(t *testing.T) {
+	// 2×2 assignment problem has an integral LP optimum.
+	// costs: [1 4; 3 2] → assign 0→0, 1→1, obj 3.
+	costs := [2][2]float64{{1, 4}, {3, 2}}
+	p := NewProblem(4) // x00 x01 x10 x11
+	id := func(i, j int) int { return 2*i + j }
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			p.SetObj(id(i, j), costs[i][j])
+			p.SetBounds(id(i, j), 0, 1)
+		}
+	}
+	p.AddRow([]Coef{{id(0, 0), 1}, {id(0, 1), 1}}, EQ, 1)
+	p.AddRow([]Coef{{id(1, 0), 1}, {id(1, 1), 1}}, EQ, 1)
+	p.AddRow([]Coef{{id(0, 0), 1}, {id(1, 0), 1}}, EQ, 1)
+	p.AddRow([]Coef{{id(0, 1), 1}, {id(1, 1), 1}}, EQ, 1)
+	s := Solve(p)
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	approx(t, s.Obj, 3, 1e-6, "assignment objective")
+}
+
+func TestRandomLPsAgainstBruteForce(t *testing.T) {
+	// Random small LPs with box bounds: compare against a fine grid
+	// search over the vertices implied by active bound combinations
+	// (for 2 variables a dense grid is a reliable oracle).
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		p := NewProblem(2)
+		c0, c1 := r.Float64()*4-2, r.Float64()*4-2
+		p.SetObj(0, c0)
+		p.SetObj(1, c1)
+		p.SetBounds(0, 0, 1)
+		p.SetBounds(1, 0, 1)
+		type rw struct{ a0, a1, b float64 }
+		var rows []rw
+		for k := 0; k < 3; k++ {
+			row := rw{r.Float64()*2 - 0.5, r.Float64()*2 - 0.5, r.Float64() * 1.5}
+			rows = append(rows, row)
+			p.AddRow([]Coef{{0, row.a0}, {1, row.a1}}, LE, row.b)
+		}
+		s := Solve(p)
+		if s.Status == Infeasible {
+			// Verify by grid that no point is feasible.
+			feasible := false
+			for x := 0.0; x <= 1.0001 && !feasible; x += 0.02 {
+				for y := 0.0; y <= 1.0001; y += 0.02 {
+					ok := true
+					for _, row := range rows {
+						if row.a0*x+row.a1*y > row.b+1e-9 {
+							ok = false
+							break
+						}
+					}
+					if ok {
+						feasible = true
+						break
+					}
+				}
+			}
+			if feasible {
+				t.Fatalf("trial %d: solver says infeasible but grid found a point", trial)
+			}
+			continue
+		}
+		if s.Status != Optimal {
+			t.Fatalf("trial %d: status %v", trial, s.Status)
+		}
+		best := math.Inf(1)
+		for x := 0.0; x <= 1.0001; x += 0.01 {
+			for y := 0.0; y <= 1.0001; y += 0.01 {
+				ok := true
+				for _, row := range rows {
+					if row.a0*x+row.a1*y > row.b+1e-9 {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					if v := c0*x + c1*y; v < best {
+						best = v
+					}
+				}
+			}
+		}
+		if s.Obj > best+1e-6 {
+			t.Fatalf("trial %d: solver obj %v worse than grid %v", trial, s.Obj, best)
+		}
+		if s.Obj < best-0.05 {
+			t.Fatalf("trial %d: solver obj %v implausibly below grid %v", trial, s.Obj, best)
+		}
+	}
+}
+
+func TestIterLimit(t *testing.T) {
+	p := NewProblem(3)
+	for j := 0; j < 3; j++ {
+		p.SetObj(j, -1)
+		p.SetBounds(j, 0, 1)
+	}
+	p.AddRow([]Coef{{0, 1}, {1, 1}, {2, 1}}, LE, 2)
+	s := SolveWithLimit(p, 0)
+	if s.Status != IterLimit && s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+}
+
+func TestSenseString(t *testing.T) {
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "=" {
+		t.Fatal("sense rendering")
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	for st, want := range map[Status]string{
+		Optimal: "optimal", Infeasible: "infeasible", Unbounded: "unbounded", IterLimit: "iteration-limit",
+	} {
+		if st.String() != want {
+			t.Fatalf("Status(%d).String() = %q", st, st.String())
+		}
+	}
+}

@@ -1,0 +1,146 @@
+// Package pareto implements the Chord algorithm (Daskalakis,
+// Diakonikolas, Yannakakis — SODA 2010) for approximating the
+// Pareto-optimal curve of a bi-objective minimization problem with few
+// scalarized solver invocations. CoPhy uses it to present the
+// trade-off curve of a soft constraint — e.g. workload cost versus
+// index storage — to the DBA (§4.1 and Appendix D of the paper).
+package pareto
+
+import "math"
+
+// Point is one Pareto point: the scalarization weight that produced it
+// and its two objective values (both minimized).
+type Point struct {
+	// Lambda is the weight: the point minimizes Lambda·X + (1−Lambda)·Y.
+	Lambda float64
+	// X is the first objective (workload cost in CoPhy's use).
+	X float64
+	// Y is the second objective (index storage).
+	Y float64
+}
+
+// SolveFunc produces the optimal point of the scalarized objective
+// λ·X + (1−λ)·Y.
+type SolveFunc func(lambda float64) Point
+
+// Chord approximates the Pareto curve. It solves the two extreme
+// scalarizations (λ = 1 minimizes X, λ = 0 minimizes Y) and then
+// recursively probes, for each segment between known adjacent points,
+// the λ at which both endpoints have equal scalarized value — the
+// weight whose supporting line is parallel to the segment. Recursion
+// stops when the new point's distance from the segment falls below
+// eps (relative to the extreme spans) or maxCalls solver invocations
+// were spent. The returned points are sorted by λ descending (cheap X
+// first) and are guaranteed to include both extremes; the true curve
+// lies within eps of the returned chain.
+func Chord(solve SolveFunc, eps float64, maxCalls int) []Point {
+	if maxCalls < 2 {
+		maxCalls = 2
+	}
+	calls := 0
+	call := func(l float64) Point {
+		calls++
+		p := solve(l)
+		p.Lambda = l
+		return p
+	}
+	a := call(1) // min X
+	b := call(0) // min Y
+
+	spanX := math.Abs(a.X-b.X) + 1e-12
+	spanY := math.Abs(a.Y-b.Y) + 1e-12
+
+	var out []Point
+	out = append(out, a)
+	var rec func(p, q Point, depth int)
+	rec = func(p, q Point, depth int) {
+		if calls >= maxCalls || depth > 12 {
+			return
+		}
+		dx := p.X - q.X
+		dy := q.Y - p.Y
+		den := dx + dy
+		if den == 0 {
+			return
+		}
+		l := dy / den
+		if l <= 0 || l >= 1 || math.IsNaN(l) {
+			return
+		}
+		c := call(l)
+		// Distance of c from the segment pq, normalized per-axis so
+		// the two objectives are comparable.
+		d := segmentDistance(p, q, c, spanX, spanY)
+		if d < eps {
+			return
+		}
+		rec(p, c, depth+1)
+		out = append(out, c)
+		rec(c, q, depth+1)
+	}
+	rec(a, b, 0)
+	out = append(out, b)
+	return dedupe(out)
+}
+
+// segmentDistance returns the normalized perpendicular distance of c
+// from the segment pq.
+func segmentDistance(p, q, c Point, spanX, spanY float64) float64 {
+	px, py := p.X/spanX, p.Y/spanY
+	qx, qy := q.X/spanX, q.Y/spanY
+	cx, cy := c.X/spanX, c.Y/spanY
+	vx, vy := qx-px, qy-py
+	wx, wy := cx-px, cy-py
+	vv := vx*vx + vy*vy
+	if vv == 0 {
+		return math.Hypot(wx, wy)
+	}
+	t := (wx*vx + wy*vy) / vv
+	if t < 0 {
+		t = 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	dx, dy := wx-t*vx, wy-t*vy
+	return math.Hypot(dx, dy)
+}
+
+// dedupe removes consecutive duplicates (same objective values).
+func dedupe(ps []Point) []Point {
+	var out []Point
+	for _, p := range ps {
+		if len(out) > 0 {
+			last := out[len(out)-1]
+			if math.Abs(last.X-p.X) < 1e-9 && math.Abs(last.Y-p.Y) < 1e-9 {
+				continue
+			}
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// Dominated reports whether point p is Pareto-dominated by q (q is at
+// least as good in both objectives and better in one).
+func Dominated(p, q Point) bool {
+	return q.X <= p.X && q.Y <= p.Y && (q.X < p.X || q.Y < p.Y)
+}
+
+// Filter removes dominated points from a set, preserving order.
+func Filter(ps []Point) []Point {
+	var out []Point
+	for i, p := range ps {
+		dom := false
+		for j, q := range ps {
+			if i != j && Dominated(p, q) {
+				dom = true
+				break
+			}
+		}
+		if !dom {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,92 @@
+package pareto
+
+import (
+	"math"
+	"testing"
+)
+
+// quadCurve is a synthetic convex trade-off: minimizing λx + (1−λ)y
+// over the curve y = (1−x)², x ∈ [0,1].
+func quadCurve(lambda float64) Point {
+	// d/dx [λx + (1−λ)(1−x)²] = λ − 2(1−λ)(1−x) = 0.
+	if lambda >= 1 {
+		return Point{X: 0, Y: 1}
+	}
+	x := 1 - lambda/(2*(1-lambda))
+	if x < 0 {
+		x = 0
+	}
+	if x > 1 {
+		x = 1
+	}
+	return Point{X: x, Y: (1 - x) * (1 - x)}
+}
+
+func TestChordFindsExtremes(t *testing.T) {
+	pts := Chord(quadCurve, 0.01, 20)
+	if len(pts) < 3 {
+		t.Fatalf("chord returned %d points", len(pts))
+	}
+	first, last := pts[0], pts[len(pts)-1]
+	// λ=1 minimizes X (x=0); λ=0 minimizes Y (y=0).
+	if first.X > 1e-9 {
+		t.Fatalf("λ=1 extreme wrong: %+v", first)
+	}
+	if last.Y > 1e-9 {
+		t.Fatalf("λ=0 extreme wrong: %+v", last)
+	}
+}
+
+func TestChordPointsOnCurve(t *testing.T) {
+	pts := Chord(quadCurve, 0.005, 30)
+	for _, p := range pts {
+		want := (1 - p.X) * (1 - p.X)
+		if math.Abs(p.Y-want) > 1e-9 {
+			t.Fatalf("point off curve: %+v", p)
+		}
+	}
+}
+
+func TestChordRespectsCallBudget(t *testing.T) {
+	calls := 0
+	counted := func(l float64) Point {
+		calls++
+		return quadCurve(l)
+	}
+	Chord(counted, 1e-9, 7)
+	if calls > 7 {
+		t.Fatalf("chord used %d calls with budget 7", calls)
+	}
+}
+
+func TestChordRefinesWithTighterEps(t *testing.T) {
+	loose := Chord(quadCurve, 0.2, 50)
+	tight := Chord(quadCurve, 0.005, 50)
+	if len(tight) <= len(loose) {
+		t.Fatalf("tighter eps should add points: %d vs %d", len(tight), len(loose))
+	}
+}
+
+func TestChordDegenerateFlatCurve(t *testing.T) {
+	flat := func(lambda float64) Point { return Point{X: 1, Y: 1} }
+	pts := Chord(flat, 0.01, 10)
+	if len(pts) != 1 {
+		t.Fatalf("flat curve should dedupe to one point, got %d", len(pts))
+	}
+}
+
+func TestDominatedAndFilter(t *testing.T) {
+	a := Point{X: 1, Y: 1}
+	b := Point{X: 2, Y: 2}
+	c := Point{X: 0.5, Y: 3}
+	if !Dominated(b, a) {
+		t.Fatal("b should be dominated by a")
+	}
+	if Dominated(a, c) || Dominated(c, a) {
+		t.Fatal("a and c are incomparable")
+	}
+	out := Filter([]Point{a, b, c})
+	if len(out) != 2 {
+		t.Fatalf("filter kept %d points, want 2", len(out))
+	}
+}

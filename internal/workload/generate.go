@@ -1,0 +1,506 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/catalog"
+)
+
+// ref abbreviates a column reference.
+func ref(table, col string) catalog.ColumnRef { return catalog.ColumnRef{Table: table, Column: col} }
+
+// fkJoins is the TPC-H foreign-key join graph used by both generators.
+var fkJoins = []Join{
+	{Left: ref("nation", "n_regionkey"), Right: ref("region", "r_regionkey")},
+	{Left: ref("supplier", "s_nationkey"), Right: ref("nation", "n_nationkey")},
+	{Left: ref("customer", "c_nationkey"), Right: ref("nation", "n_nationkey")},
+	{Left: ref("partsupp", "ps_partkey"), Right: ref("part", "p_partkey")},
+	{Left: ref("partsupp", "ps_suppkey"), Right: ref("supplier", "s_suppkey")},
+	{Left: ref("orders", "o_custkey"), Right: ref("customer", "c_custkey")},
+	{Left: ref("lineitem", "l_orderkey"), Right: ref("orders", "o_orderkey")},
+	{Left: ref("lineitem", "l_partkey"), Right: ref("part", "p_partkey")},
+	{Left: ref("lineitem", "l_suppkey"), Right: ref("supplier", "s_suppkey")},
+}
+
+// rangePred builds a range predicate of the given width at a random
+// position; under Zipf-skewed histograms position 0 is the hot end.
+func rangePred(r *rand.Rand, col catalog.ColumnRef, width float64) Predicate {
+	lo := r.Float64() * (1 - width)
+	return Predicate{Col: col, Op: OpRange, Lo: lo, Hi: lo + width}
+}
+
+func eqPred(r *rand.Rand, col catalog.ColumnRef) Predicate {
+	return Predicate{Col: col, Op: OpEq, Lo: r.Float64()}
+}
+
+func ltPred(r *rand.Rand, col catalog.ColumnRef, maxHi float64) Predicate {
+	return Predicate{Col: col, Op: OpLt, Hi: r.Float64() * maxHi}
+}
+
+func gtPred(r *rand.Rand, col catalog.ColumnRef, minLo float64) Predicate {
+	return Predicate{Col: col, Op: OpGt, Lo: minLo + r.Float64()*(1-minLo)}
+}
+
+// template is one parameterized query shape. gen instantiates it with
+// fresh random constants.
+type template struct {
+	name string
+	gen  func(r *rand.Rand) *Query
+}
+
+// homTemplates are the fifteen TPC-H-style templates behind W_hom
+// (§5.1: fifteen of the TPC-H templates, random constants per
+// instance). Shapes follow the spirit of the TPC-H queries they are
+// named after: scans with wide ranges, FK join chains, group-by and
+// order-by on a mix of selective and unselective columns.
+var homTemplates = []template{
+	{"q1-pricing-summary", func(r *rand.Rand) *Query {
+		return &Query{
+			Tables: []string{"lineitem"},
+			Select: []catalog.ColumnRef{ref("lineitem", "l_returnflag"), ref("lineitem", "l_linestatus"),
+				ref("lineitem", "l_quantity"), ref("lineitem", "l_extendedprice"), ref("lineitem", "l_discount")},
+			Preds:     []Predicate{ltPred(r, ref("lineitem", "l_shipdate"), 0.98)},
+			GroupBy:   []catalog.ColumnRef{ref("lineitem", "l_returnflag"), ref("lineitem", "l_linestatus")},
+			OrderBy:   []catalog.ColumnRef{ref("lineitem", "l_returnflag"), ref("lineitem", "l_linestatus")},
+			Aggregate: true,
+		}
+	}},
+	{"q3-shipping-priority", func(r *rand.Rand) *Query {
+		return &Query{
+			Tables: []string{"customer", "orders", "lineitem"},
+			Select: []catalog.ColumnRef{ref("lineitem", "l_orderkey"), ref("lineitem", "l_extendedprice"),
+				ref("orders", "o_orderdate"), ref("orders", "o_shippriority")},
+			Joins: []Join{
+				{Left: ref("orders", "o_custkey"), Right: ref("customer", "c_custkey")},
+				{Left: ref("lineitem", "l_orderkey"), Right: ref("orders", "o_orderkey")},
+			},
+			Preds: []Predicate{
+				eqPred(r, ref("customer", "c_mktsegment")),
+				ltPred(r, ref("orders", "o_orderdate"), 0.6),
+				gtPred(r, ref("lineitem", "l_shipdate"), 0.4),
+			},
+			GroupBy:   []catalog.ColumnRef{ref("lineitem", "l_orderkey"), ref("orders", "o_orderdate"), ref("orders", "o_shippriority")},
+			OrderBy:   []catalog.ColumnRef{ref("orders", "o_orderdate")},
+			Aggregate: true,
+		}
+	}},
+	{"q4-order-priority", func(r *rand.Rand) *Query {
+		return &Query{
+			Tables: []string{"orders"},
+			Select: []catalog.ColumnRef{ref("orders", "o_orderpriority")},
+			Preds: []Predicate{
+				rangePred(r, ref("orders", "o_orderdate"), 0.03),
+			},
+			GroupBy:   []catalog.ColumnRef{ref("orders", "o_orderpriority")},
+			OrderBy:   []catalog.ColumnRef{ref("orders", "o_orderpriority")},
+			Aggregate: true,
+		}
+	}},
+	{"q5-local-supplier", func(r *rand.Rand) *Query {
+		return &Query{
+			Tables: []string{"customer", "orders", "lineitem", "supplier", "nation"},
+			Select: []catalog.ColumnRef{ref("nation", "n_name"), ref("lineitem", "l_extendedprice"), ref("lineitem", "l_discount")},
+			Joins: []Join{
+				{Left: ref("orders", "o_custkey"), Right: ref("customer", "c_custkey")},
+				{Left: ref("lineitem", "l_orderkey"), Right: ref("orders", "o_orderkey")},
+				{Left: ref("lineitem", "l_suppkey"), Right: ref("supplier", "s_suppkey")},
+				{Left: ref("supplier", "s_nationkey"), Right: ref("nation", "n_nationkey")},
+			},
+			Preds: []Predicate{
+				rangePred(r, ref("orders", "o_orderdate"), 0.15),
+				eqPred(r, ref("nation", "n_regionkey")),
+			},
+			GroupBy:   []catalog.ColumnRef{ref("nation", "n_name")},
+			OrderBy:   []catalog.ColumnRef{ref("nation", "n_name")},
+			Aggregate: true,
+		}
+	}},
+	{"q6-forecast-revenue", func(r *rand.Rand) *Query {
+		return &Query{
+			Tables: []string{"lineitem"},
+			Select: []catalog.ColumnRef{ref("lineitem", "l_extendedprice"), ref("lineitem", "l_discount")},
+			Preds: []Predicate{
+				rangePred(r, ref("lineitem", "l_shipdate"), 0.15),
+				rangePred(r, ref("lineitem", "l_discount"), 0.18),
+				ltPred(r, ref("lineitem", "l_quantity"), 0.5),
+			},
+			Aggregate: true,
+		}
+	}},
+	{"q7-volume-shipping", func(r *rand.Rand) *Query {
+		return &Query{
+			Tables: []string{"supplier", "lineitem", "orders", "customer"},
+			Select: []catalog.ColumnRef{ref("lineitem", "l_shipdate"), ref("lineitem", "l_extendedprice")},
+			Joins: []Join{
+				{Left: ref("lineitem", "l_suppkey"), Right: ref("supplier", "s_suppkey")},
+				{Left: ref("lineitem", "l_orderkey"), Right: ref("orders", "o_orderkey")},
+				{Left: ref("orders", "o_custkey"), Right: ref("customer", "c_custkey")},
+			},
+			Preds: []Predicate{
+				rangePred(r, ref("lineitem", "l_shipdate"), 0.3),
+				eqPred(r, ref("supplier", "s_nationkey")),
+				eqPred(r, ref("customer", "c_nationkey")),
+			},
+			GroupBy:   []catalog.ColumnRef{ref("lineitem", "l_shipdate")},
+			Aggregate: true,
+		}
+	}},
+	{"q8-market-share", func(r *rand.Rand) *Query {
+		return &Query{
+			Tables: []string{"part", "lineitem", "orders", "customer", "nation"},
+			Select: []catalog.ColumnRef{ref("orders", "o_orderdate"), ref("lineitem", "l_extendedprice")},
+			Joins: []Join{
+				{Left: ref("lineitem", "l_partkey"), Right: ref("part", "p_partkey")},
+				{Left: ref("lineitem", "l_orderkey"), Right: ref("orders", "o_orderkey")},
+				{Left: ref("orders", "o_custkey"), Right: ref("customer", "c_custkey")},
+				{Left: ref("customer", "c_nationkey"), Right: ref("nation", "n_nationkey")},
+			},
+			Preds: []Predicate{
+				eqPred(r, ref("part", "p_type")),
+				rangePred(r, ref("orders", "o_orderdate"), 0.3),
+				eqPred(r, ref("nation", "n_regionkey")),
+			},
+			GroupBy:   []catalog.ColumnRef{ref("orders", "o_orderdate")},
+			Aggregate: true,
+		}
+	}},
+	{"q10-returned-items", func(r *rand.Rand) *Query {
+		return &Query{
+			Tables: []string{"customer", "orders", "lineitem", "nation"},
+			Select: []catalog.ColumnRef{ref("customer", "c_custkey"), ref("customer", "c_name"),
+				ref("lineitem", "l_extendedprice"), ref("customer", "c_acctbal"), ref("nation", "n_name")},
+			Joins: []Join{
+				{Left: ref("orders", "o_custkey"), Right: ref("customer", "c_custkey")},
+				{Left: ref("lineitem", "l_orderkey"), Right: ref("orders", "o_orderkey")},
+				{Left: ref("customer", "c_nationkey"), Right: ref("nation", "n_nationkey")},
+			},
+			Preds: []Predicate{
+				rangePred(r, ref("orders", "o_orderdate"), 0.08),
+				eqPred(r, ref("lineitem", "l_returnflag")),
+			},
+			GroupBy:   []catalog.ColumnRef{ref("customer", "c_custkey"), ref("customer", "c_name"), ref("customer", "c_acctbal"), ref("nation", "n_name")},
+			OrderBy:   []catalog.ColumnRef{ref("customer", "c_acctbal")},
+			Aggregate: true,
+		}
+	}},
+	{"q11-important-stock", func(r *rand.Rand) *Query {
+		return &Query{
+			Tables: []string{"partsupp", "supplier"},
+			Select: []catalog.ColumnRef{ref("partsupp", "ps_partkey"), ref("partsupp", "ps_supplycost"), ref("partsupp", "ps_availqty")},
+			Joins: []Join{
+				{Left: ref("partsupp", "ps_suppkey"), Right: ref("supplier", "s_suppkey")},
+			},
+			Preds: []Predicate{
+				eqPred(r, ref("supplier", "s_nationkey")),
+			},
+			GroupBy:   []catalog.ColumnRef{ref("partsupp", "ps_partkey")},
+			OrderBy:   []catalog.ColumnRef{ref("partsupp", "ps_supplycost")},
+			Aggregate: true,
+		}
+	}},
+	{"q12-shipmode", func(r *rand.Rand) *Query {
+		return &Query{
+			Tables: []string{"orders", "lineitem"},
+			Select: []catalog.ColumnRef{ref("lineitem", "l_shipmode"), ref("orders", "o_orderpriority")},
+			Joins: []Join{
+				{Left: ref("lineitem", "l_orderkey"), Right: ref("orders", "o_orderkey")},
+			},
+			Preds: []Predicate{
+				eqPred(r, ref("lineitem", "l_shipmode")),
+				rangePred(r, ref("lineitem", "l_receiptdate"), 0.15),
+			},
+			GroupBy:   []catalog.ColumnRef{ref("lineitem", "l_shipmode")},
+			OrderBy:   []catalog.ColumnRef{ref("lineitem", "l_shipmode")},
+			Aggregate: true,
+		}
+	}},
+	{"q14-promotion", func(r *rand.Rand) *Query {
+		return &Query{
+			Tables: []string{"lineitem", "part"},
+			Select: []catalog.ColumnRef{ref("lineitem", "l_extendedprice"), ref("lineitem", "l_discount"), ref("part", "p_type")},
+			Joins: []Join{
+				{Left: ref("lineitem", "l_partkey"), Right: ref("part", "p_partkey")},
+			},
+			Preds: []Predicate{
+				rangePred(r, ref("lineitem", "l_shipdate"), 0.03),
+			},
+			Aggregate: true,
+		}
+	}},
+	{"q15-top-supplier", func(r *rand.Rand) *Query {
+		return &Query{
+			Tables: []string{"lineitem", "supplier"},
+			Select: []catalog.ColumnRef{ref("supplier", "s_suppkey"), ref("supplier", "s_name"), ref("lineitem", "l_extendedprice")},
+			Joins: []Join{
+				{Left: ref("lineitem", "l_suppkey"), Right: ref("supplier", "s_suppkey")},
+			},
+			Preds: []Predicate{
+				rangePred(r, ref("lineitem", "l_shipdate"), 0.08),
+			},
+			GroupBy:   []catalog.ColumnRef{ref("supplier", "s_suppkey"), ref("supplier", "s_name")},
+			Aggregate: true,
+		}
+	}},
+	{"q16-parts-supplier", func(r *rand.Rand) *Query {
+		return &Query{
+			Tables: []string{"partsupp", "part"},
+			Select: []catalog.ColumnRef{ref("part", "p_brand"), ref("part", "p_type"), ref("part", "p_size"), ref("partsupp", "ps_suppkey")},
+			Joins: []Join{
+				{Left: ref("partsupp", "ps_partkey"), Right: ref("part", "p_partkey")},
+			},
+			Preds: []Predicate{
+				eqPred(r, ref("part", "p_brand")),
+				eqPred(r, ref("part", "p_size")),
+			},
+			GroupBy:   []catalog.ColumnRef{ref("part", "p_brand"), ref("part", "p_type"), ref("part", "p_size")},
+			OrderBy:   []catalog.ColumnRef{ref("part", "p_brand")},
+			Aggregate: true,
+		}
+	}},
+	{"q17-small-quantity", func(r *rand.Rand) *Query {
+		return &Query{
+			Tables: []string{"lineitem", "part"},
+			Select: []catalog.ColumnRef{ref("lineitem", "l_extendedprice"), ref("lineitem", "l_quantity")},
+			Joins: []Join{
+				{Left: ref("lineitem", "l_partkey"), Right: ref("part", "p_partkey")},
+			},
+			Preds: []Predicate{
+				eqPred(r, ref("part", "p_brand")),
+				eqPred(r, ref("part", "p_container")),
+				ltPred(r, ref("lineitem", "l_quantity"), 0.3),
+			},
+			Aggregate: true,
+		}
+	}},
+	{"q19-discounted-revenue", func(r *rand.Rand) *Query {
+		return &Query{
+			Tables: []string{"lineitem", "part"},
+			Select: []catalog.ColumnRef{ref("lineitem", "l_extendedprice"), ref("lineitem", "l_discount")},
+			Joins: []Join{
+				{Left: ref("lineitem", "l_partkey"), Right: ref("part", "p_partkey")},
+			},
+			Preds: []Predicate{
+				eqPred(r, ref("part", "p_container")),
+				rangePred(r, ref("lineitem", "l_quantity"), 0.2),
+				eqPred(r, ref("lineitem", "l_shipmode")),
+				rangePred(r, ref("part", "p_size"), 0.2),
+			},
+			Aggregate: true,
+		}
+	}},
+}
+
+// HomConfig controls W_hom generation.
+type HomConfig struct {
+	// Queries is the number of SELECT statements to generate.
+	Queries int
+	// UpdateFraction, in [0,1), is the fraction of additional UPDATE
+	// statements appended to the workload (0 disables updates).
+	UpdateFraction float64
+	// Seed seeds the deterministic generator.
+	Seed int64
+}
+
+// Hom generates the homogeneous workload W_hom: cfg.Queries statements
+// drawn uniformly from the fifteen TPC-H-style templates, each with
+// fresh random constants, plus optional updates.
+func Hom(cfg HomConfig) *Workload {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	w := &Workload{Name: fmt.Sprintf("W_hom_%d", cfg.Queries)}
+	for i := 0; i < cfg.Queries; i++ {
+		t := homTemplates[i%len(homTemplates)]
+		q := t.gen(r)
+		q.ID = fmt.Sprintf("hom-%04d", i)
+		q.Template = t.name
+		w.Statements = append(w.Statements, &Statement{Query: q, Weight: 1})
+	}
+	appendUpdates(w, r, int(float64(cfg.Queries)*cfg.UpdateFraction))
+	return w
+}
+
+// hetTables are the tables the heterogeneous generator draws from,
+// biased toward the large fact tables where index choice matters.
+var hetTables = []string{"lineitem", "orders", "customer", "part", "partsupp", "supplier", "lineitem", "orders"}
+
+// hetPredCols lists per-table columns eligible for predicates in W_het.
+var hetPredCols = map[string][]string{
+	"lineitem": {"l_shipdate", "l_commitdate", "l_receiptdate", "l_quantity", "l_discount", "l_returnflag", "l_shipmode", "l_partkey", "l_suppkey"},
+	"orders":   {"o_orderdate", "o_orderpriority", "o_orderstatus", "o_totalprice", "o_custkey", "o_clerk"},
+	"customer": {"c_mktsegment", "c_nationkey", "c_acctbal", "c_phone"},
+	"part":     {"p_brand", "p_type", "p_size", "p_container", "p_retailprice", "p_mfgr"},
+	"partsupp": {"ps_availqty", "ps_supplycost", "ps_partkey", "ps_suppkey"},
+	"supplier": {"s_nationkey", "s_acctbal", "s_phone"},
+}
+
+// hetProjCols lists per-table columns eligible for projection.
+var hetProjCols = map[string][]string{
+	"lineitem": {"l_extendedprice", "l_quantity", "l_discount", "l_tax", "l_shipdate", "l_orderkey"},
+	"orders":   {"o_totalprice", "o_orderdate", "o_orderkey", "o_orderpriority"},
+	"customer": {"c_name", "c_acctbal", "c_custkey", "c_mktsegment"},
+	"part":     {"p_name", "p_retailprice", "p_brand", "p_size"},
+	"partsupp": {"ps_supplycost", "ps_availqty", "ps_partkey"},
+	"supplier": {"s_name", "s_acctbal", "s_suppkey"},
+}
+
+// HetConfig controls W_het generation.
+type HetConfig struct {
+	// Queries is the number of SELECT statements to generate.
+	Queries int
+	// UpdateFraction is as in HomConfig.
+	UpdateFraction float64
+	// Seed seeds the deterministic generator.
+	Seed int64
+}
+
+// Het generates the heterogeneous workload W_het: SPJ queries with
+// group-by and aggregation whose shapes (table subsets, predicate
+// sets, projections) are randomized per statement, so the workload has
+// many more distinct templates than W_hom. This models the C2 query
+// suite of the online index-selection benchmark used in §5.1 and
+// defeats sampling-based workload compression.
+func Het(cfg HetConfig) *Workload {
+	r := rand.New(rand.NewSource(cfg.Seed + 7919))
+	w := &Workload{Name: fmt.Sprintf("W_het_%d", cfg.Queries)}
+	for i := 0; i < cfg.Queries; i++ {
+		q := genHet(r)
+		q.ID = fmt.Sprintf("het-%04d", i)
+		q.Template = fmt.Sprintf("het-shape-%04d", i) // every instance its own template
+		w.Statements = append(w.Statements, &Statement{Query: q, Weight: 1})
+	}
+	appendUpdates(w, r, int(float64(cfg.Queries)*cfg.UpdateFraction))
+	return w
+}
+
+// genHet builds one random SPJ+aggregation query over a connected
+// subgraph of the FK join graph.
+func genHet(r *rand.Rand) *Query {
+	// Start from a random seed table and grow a connected table set.
+	start := hetTables[r.Intn(len(hetTables))]
+	tables := map[string]bool{start: true}
+	var joins []Join
+	nTables := 1 + r.Intn(3) // 1..3 tables
+	for len(tables) < nTables {
+		grown := false
+		perm := r.Perm(len(fkJoins))
+		for _, ji := range perm {
+			j := fkJoins[ji]
+			l, rt := j.Left.Table, j.Right.Table
+			if tables[l] && !tables[rt] && hetPredCols[rt] != nil {
+				tables[rt] = true
+				joins = append(joins, j)
+				grown = true
+				break
+			}
+			if tables[rt] && !tables[l] && hetPredCols[l] != nil {
+				tables[l] = true
+				joins = append(joins, j)
+				grown = true
+				break
+			}
+		}
+		if !grown {
+			break
+		}
+	}
+	var tableList []string
+	for _, t := range []string{"lineitem", "orders", "customer", "part", "partsupp", "supplier", "nation", "region"} {
+		if tables[t] {
+			tableList = append(tableList, t)
+		}
+	}
+
+	q := &Query{Tables: tableList, Joins: joins}
+
+	// Local predicates: 1..3 per referenced table with predicate
+	// columns, random operator and width.
+	for _, t := range tableList {
+		cols := hetPredCols[t]
+		if cols == nil {
+			continue
+		}
+		n := 1 + r.Intn(2)
+		perm := r.Perm(len(cols))
+		for i := 0; i < n && i < len(cols); i++ {
+			col := ref(t, cols[perm[i]])
+			switch r.Intn(3) {
+			case 0:
+				q.Preds = append(q.Preds, eqPred(r, col))
+			case 1:
+				q.Preds = append(q.Preds, rangePred(r, col, 0.01+r.Float64()*0.2))
+			default:
+				q.Preds = append(q.Preds, ltPred(r, col, 0.7))
+			}
+		}
+	}
+
+	// Projection: 1..3 columns from each of up to two tables.
+	for _, t := range tableList {
+		cols := hetProjCols[t]
+		if cols == nil {
+			continue
+		}
+		n := 1 + r.Intn(3)
+		perm := r.Perm(len(cols))
+		for i := 0; i < n && i < len(cols); i++ {
+			q.Select = append(q.Select, ref(t, cols[perm[i]]))
+		}
+	}
+	if len(q.Select) == 0 {
+		q.Select = append(q.Select, ref(tableList[0], hetPredCols[tableList[0]][0]))
+	}
+
+	// Group-by/order-by/aggregation with coin flips.
+	if r.Intn(2) == 0 {
+		q.Aggregate = true
+		g := q.Select[0]
+		q.GroupBy = []catalog.ColumnRef{g}
+		if len(q.Select) > 1 && r.Intn(2) == 0 {
+			q.GroupBy = append(q.GroupBy, q.Select[1])
+		}
+	}
+	if r.Intn(3) == 0 {
+		q.OrderBy = []catalog.ColumnRef{q.Select[r.Intn(len(q.Select))]}
+	}
+	return q
+}
+
+// updatableCols lists SET-eligible columns per table for the update
+// generator.
+var updatableCols = map[string][]string{
+	"lineitem": {"l_quantity", "l_extendedprice", "l_discount"},
+	"orders":   {"o_totalprice", "o_orderstatus"},
+	"customer": {"c_acctbal", "c_mktsegment"},
+	"partsupp": {"ps_availqty", "ps_supplycost"},
+}
+
+// appendUpdates appends n UPDATE statements over the updatable tables.
+func appendUpdates(w *Workload, r *rand.Rand, n int) {
+	tables := []string{"lineitem", "orders", "customer", "partsupp"}
+	for i := 0; i < n; i++ {
+		t := tables[r.Intn(len(tables))]
+		cols := updatableCols[t]
+		set := cols[r.Intn(len(cols))]
+		keyCol := map[string]string{
+			"lineitem": "l_orderkey", "orders": "o_orderkey",
+			"customer": "c_custkey", "partsupp": "ps_partkey",
+		}[t]
+		u := &Update{
+			ID:      fmt.Sprintf("upd-%04d", i),
+			Table:   t,
+			SetCols: []string{set},
+			Where:   []Predicate{rangePred(r, ref(t, keyCol), 0.001+r.Float64()*0.01)},
+		}
+		w.Statements = append(w.Statements, &Statement{Update: u, Weight: 1})
+	}
+}
+
+// Templates returns the names of the W_hom templates, for tests and
+// documentation.
+func Templates() []string {
+	out := make([]string, len(homTemplates))
+	for i, t := range homTemplates {
+		out[i] = t.name
+	}
+	return out
+}
