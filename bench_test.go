@@ -95,6 +95,47 @@ func BenchmarkINUMCost(b *testing.B) {
 	}
 }
 
+// BenchmarkCostMatrixCompile measures dense γ-slab compilation for a
+// 30-query workload over its full candidate set — the one-off cost
+// BIPGen pays to replace per-coefficient map probes.
+func BenchmarkCostMatrixCompile(b *testing.B) {
+	cat := tpch.Build(tpch.Config{ScaleFactor: 1})
+	eng := engine.New(cat, engine.SystemA())
+	base := engine.NewConfig(tpch.BaselineIndexes(cat)...)
+	w := workload.Hom(workload.HomConfig{Queries: 30, Seed: 6})
+	cache := inum.New(eng)
+	cache.Prepare(w)
+	s := cophy.Candidates(cat, w, cophy.CGenOptions{Covering: true})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cache.CompileMatrix(w, s, base, 0)
+	}
+}
+
+// BenchmarkCostMatrixEval measures one dense cost(q, X) evaluation —
+// the inner loop of ILP enumeration and any matrix-backed search.
+func BenchmarkCostMatrixEval(b *testing.B) {
+	cat := tpch.Build(tpch.Config{ScaleFactor: 1})
+	eng := engine.New(cat, engine.SystemA())
+	base := engine.NewConfig(tpch.BaselineIndexes(cat)...)
+	w := workload.Hom(workload.HomConfig{Queries: 15, Seed: 1})
+	cache := inum.New(eng)
+	cache.Prepare(w)
+	s := cophy.Candidates(cat, w, cophy.CGenOptions{Covering: true})
+	mat := cache.CompileMatrix(w, s, base, 0)
+	qm := mat.Query(w.Queries()[2].Query)
+	sel := make([]bool, len(s))
+	for i := range sel {
+		sel[i] = i%3 == 0
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := qm.Cost(sel); !ok {
+			b.Fatal("infeasible")
+		}
+	}
+}
+
 // BenchmarkINUMPrepare measures template-plan extraction per query.
 func BenchmarkINUMPrepare(b *testing.B) {
 	cat := tpch.Build(tpch.Config{ScaleFactor: 1})

@@ -25,7 +25,16 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "workload-size multiplier (1.0 = paper scale)")
 	seed := flag.Int64("seed", 42, "workload generation seed")
 	gap := flag.Float64("gap", 0.05, "solver optimality-gap tolerance")
+	benchJSON := flag.String("bench-json", "", "run the substrate micro-benchmarks and write BENCH_inum.json / BENCH_solver.json into this directory, then exit")
 	flag.Parse()
+
+	if *benchJSON != "" {
+		if err := experiments.WriteBenchJSON(*benchJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "bench-json failed: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cfg := experiments.Config{Scale: *scale, Seed: *seed, GapTol: *gap}
 

@@ -11,6 +11,7 @@ package ilp
 
 import (
 	"math"
+	"runtime"
 	"sort"
 	"time"
 
@@ -18,6 +19,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/inum"
 	"repro/internal/lagrange"
+	"repro/internal/par"
 	"repro/internal/workload"
 )
 
@@ -119,11 +121,26 @@ func (ad *Advisor) Recommend(w *workload.Workload, s []*catalog.Index, budgetByt
 	}
 	m.Budget = budgetBytes
 
-	totalConfigs := 0
-	for _, st := range w.Queries() {
+	// Enumeration runs over the dense γ matrix: each atomic
+	// configuration is costed by a flat slab walk instead of a
+	// map-probing inum.Cost call over a freshly allocated Config
+	// union. Queries are independent, so they fan out across
+	// GOMAXPROCS workers into preallocated block positions.
+	mat := ad.Inum.CompileMatrix(w, s, baseline, 0)
+	stmts := w.Queries()
+	blocks := make([]lagrange.Block, len(stmts))
+	configCounts := make([]int, len(stmts))
+	workers := runtime.GOMAXPROCS(0)
+	sels := make([][]bool, workers)
+	for i := range sels {
+		sels[i] = make([]bool, len(s))
+	}
+	par.ForWorker(len(stmts), workers, func(worker, bi int) {
+		sel := sels[worker]
+		st := stmts[bi]
 		q := st.Query
-		configs := ad.enumerate(q, s, baseline)
-		totalConfigs += len(configs)
+		configs := ad.enumerate(q, s, mat.Query(q), sel)
+		configCounts[bi] = len(configs)
 		// Prune to the cheapest PerQuery configurations; always keep
 		// the empty configuration so the model stays feasible.
 		sort.Slice(configs, func(i, j int) bool { return configs[i].cost < configs[j].cost })
@@ -138,8 +155,10 @@ func (ad *Advisor) Recommend(w *workload.Workload, s []*catalog.Index, budgetByt
 			}
 		}
 		if !hasEmpty {
-			if empty, err := ad.Inum.Cost(q, baseline); err == nil {
-				configs = append(configs, config{cost: empty})
+			if qm := mat.Query(q); qm != nil {
+				if empty, ok := qm.Cost(sel); ok {
+					configs = append(configs, config{cost: empty})
+				}
 			}
 		}
 		blk := lagrange.Block{Weight: st.Weight}
@@ -150,8 +169,13 @@ func (ad *Advisor) Recommend(w *workload.Workload, s []*catalog.Index, budgetByt
 			}
 			blk.Choices = append(blk.Choices, ch)
 		}
-		m.Blocks = append(m.Blocks, blk)
+		blocks[bi] = blk
+	})
+	totalConfigs := 0
+	for _, n := range configCounts {
+		totalConfigs += n
 	}
+	m.Blocks = blocks
 	buildTime := time.Since(t1)
 
 	t2 := time.Now()
@@ -181,17 +205,21 @@ func (ad *Advisor) Recommend(w *workload.Workload, s []*catalog.Index, budgetByt
 
 // enumerate builds the atomic configurations of one query: the
 // cartesian product of per-table shortlists (plus "no index" per
-// table), each costed through INUM. This enumeration is ILP's
-// signature expense.
-func (ad *Advisor) enumerate(q *workload.Query, s []*catalog.Index, baseline *engine.Config) []config {
+// table), each costed through the dense γ matrix. This enumeration is
+// ILP's signature expense. sel is a caller-owned scratch selection
+// (len |S|); it is all-false on entry and restored all-false on exit.
+func (ad *Advisor) enumerate(q *workload.Query, s []*catalog.Index, qm *inum.QueryMatrix, sel []bool) []config {
+	if qm == nil {
+		return []config{{cost: math.Inf(1)}}
+	}
 	// Shortlist per referenced table: candidates ranked by their
 	// single-index benefit.
 	type ranked struct {
 		pos     int32
 		benefit float64
 	}
-	base, err := ad.Inum.Cost(q, baseline)
-	if err != nil {
+	base, ok := qm.Cost(sel)
+	if !ok {
 		return []config{{cost: math.Inf(1)}}
 	}
 	perTable := make([][]ranked, len(q.Tables))
@@ -201,9 +229,8 @@ func (ad *Advisor) enumerate(q *workload.Query, s []*catalog.Index, baseline *en
 			if ix.Table != table {
 				continue
 			}
-			cfg := baseline.Union(engine.NewConfig(ix))
-			c, err := ad.Inum.Cost(q, cfg)
-			if err != nil {
+			c, ok := qm.CostDelta(sel, int32(i))
+			if !ok {
 				continue
 			}
 			if b := base - c; b > 1e-9 {
@@ -217,27 +244,28 @@ func (ad *Advisor) enumerate(q *workload.Query, s []*catalog.Index, baseline *en
 		perTable[ti] = list
 	}
 
-	// Cartesian product (index or none per table), costed via INUM.
+	// Cartesian product (index or none per table), costed densely.
 	var out []config
-	var walk func(ti int, chosen []int32, cfg *engine.Config)
-	walk = func(ti int, chosen []int32, cfg *engine.Config) {
+	var walk func(ti int, chosen []int32)
+	walk = func(ti int, chosen []int32) {
 		if len(out) >= 4096 {
 			return // enumeration guard for pathological queries
 		}
 		if ti == len(q.Tables) {
-			c, err := ad.Inum.Cost(q, cfg)
-			if err != nil {
+			c, ok := qm.Cost(sel)
+			if !ok {
 				return
 			}
 			out = append(out, config{indexes: append([]int32(nil), chosen...), cost: c})
 			return
 		}
-		walk(ti+1, chosen, cfg)
+		walk(ti+1, chosen)
 		for _, r := range perTable[ti] {
-			next := cfg.Union(engine.NewConfig(s[r.pos]))
-			walk(ti+1, append(chosen, r.pos), next)
+			sel[r.pos] = true
+			walk(ti+1, append(chosen, r.pos))
+			sel[r.pos] = false
 		}
 	}
-	walk(0, nil, baseline)
+	walk(0, nil)
 	return out
 }

@@ -116,6 +116,11 @@ type node struct {
 	fixed map[int]float64
 	bound float64 // parent LP bound (lower bound on subtree)
 	depth int
+	// basis is the parent node's optimal LP basis. The child LP
+	// differs from the parent's by a single variable bound, so its
+	// re-solve warm-starts there and pivots from a near-optimal point
+	// instead of running Phase 1 from scratch.
+	basis *lp.Basis
 }
 
 // Solve runs best-bound branch and bound.
@@ -171,12 +176,12 @@ func Solve(m Model, opts Options) Result {
 		}
 		nodes++
 
-		// Solve the node LP.
+		// Solve the node LP, warm-starting from the parent's basis.
 		p := m.P.Clone()
 		for j, v := range nd.fixed {
 			p.SetBounds(j, v, v)
 		}
-		sol := lp.Solve(p)
+		sol := lp.SolveFrom(p, nd.basis)
 		if sol.Status == lp.Infeasible {
 			continue
 		}
@@ -222,7 +227,7 @@ func Solve(m Model, opts Options) Result {
 
 		// Branch on the most fractional binary.
 		for _, v := range []float64{0, 1} {
-			child := &node{fixed: make(map[int]float64, len(nd.fixed)+1), bound: sol.Obj, depth: nd.depth + 1}
+			child := &node{fixed: make(map[int]float64, len(nd.fixed)+1), bound: sol.Obj, depth: nd.depth + 1, basis: sol.Basis}
 			for k, val := range nd.fixed {
 				child.fixed[k] = val
 			}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/inum"
 	"repro/internal/lagrange"
 	"repro/internal/lp"
+	"repro/internal/par"
 	"repro/internal/workload"
 )
 
@@ -26,6 +27,9 @@ type Instance struct {
 	Workload *workload.Workload
 	S        []*catalog.Index
 	Baseline *engine.Config
+	// Workers bounds BuildModel's worker pool (0 = GOMAXPROCS). Tests
+	// raise it above the core count to exercise the concurrent paths.
+	Workers int
 }
 
 // BuildModel implements BIPGen: it compiles the instance into the
@@ -36,14 +40,118 @@ type Instance struct {
 // index). Candidate update-maintenance costs become the z_a objective
 // coefficients, base-tuple update costs the constant term.
 //
-// BuildTime in the advisor's breakdown measures this function; its
-// cheapness relative to ILP's configuration enumeration is the heart
-// of Figure 5.
+// The γ values come from the dense CostMatrix compiled once per
+// instance rather than per-coefficient map probes, and the per-query
+// blocks — independent by Theorem 1 — are built by a worker pool into
+// preallocated positions, so the emitted model is bit-identical to a
+// serial build. BuildTime in the advisor's breakdown measures this
+// function; its cheapness relative to ILP's configuration enumeration
+// is the heart of Figure 5.
 func BuildModel(inst *Instance) (*lagrange.Model, error) {
 	m := lagrange.NewModel(len(inst.S))
 	// Slots within one template access distinct tables, so an index
 	// never fills two slots of one choice — the solver may aggregate
 	// its multipliers per query for a stronger relax(B) bound.
+	m.DistinctPerChoice = true
+	for i, ix := range inst.S {
+		t := inst.Cat.Table(ix.Table)
+		if t == nil {
+			return nil, fmt.Errorf("cophy: candidate %s references unknown table", ix.ID())
+		}
+		m.Size[i] = float64(ix.Bytes(t))
+	}
+
+	// Update costs: FixedCost[a] = Σ_u f_u·ucost(a,u); Const gathers
+	// the index-independent base-tuple costs. The candidate axis is
+	// parallelized (each worker owns disjoint FixedCost entries and
+	// sums statements in workload order, keeping the result exact and
+	// deterministic); the constant term is one cheap serial pass.
+	updates := inst.Workload.Updates()
+	if len(updates) > 0 {
+		for _, s := range updates {
+			m.Const += s.Weight * inst.Eng.BaseUpdateCost(s.Update)
+		}
+		par.For(len(inst.S), inst.Workers, func(i int) {
+			ix := inst.S[i]
+			var sum float64
+			for _, s := range updates {
+				if c := inst.Eng.UpdateCost(s.Update, ix); c > 0 {
+					sum += s.Weight * c
+				}
+			}
+			m.FixedCost[i] = sum
+		})
+	}
+
+	// Query blocks from the dense γ matrix, one worker-pool task per
+	// query, written into its preallocated position.
+	mat := inst.Inum.CompileMatrix(inst.Workload, inst.S, inst.Baseline, inst.Workers)
+	stmts := inst.Workload.Queries()
+	blocks := make([]lagrange.Block, len(stmts))
+	errs := make([]error, len(stmts))
+	par.For(len(stmts), inst.Workers, func(i int) {
+		s := stmts[i]
+		qm := mat.Query(s.Query)
+		if qm == nil || len(qm.Internal) == 0 {
+			errs[i] = fmt.Errorf("cophy: no templates for %s", s.Query.ID)
+			return
+		}
+		blk, err := buildBlock(s.Weight, s.Query.ID, qm)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		blocks[i] = blk
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	m.Blocks = blocks
+	return m, nil
+}
+
+// buildBlock emits one query's choice block from its dense γ slab.
+func buildBlock(weight float64, queryID string, qm *inum.QueryMatrix) (lagrange.Block, error) {
+	blk := lagrange.Block{Weight: weight}
+	for ti := 0; ti < len(qm.Internal); ti++ {
+		ch := lagrange.Choice{Fixed: qm.Internal[ti]}
+		feasible := true
+		for si := qm.TmplOff[ti]; si < qm.TmplOff[ti+1]; si++ {
+			free := qm.SlotFree[si]
+			var slot lagrange.Slot
+			if !math.IsInf(free, 1) {
+				slot = append(slot, lagrange.Option{Index: lagrange.NoIndex, Cost: free})
+			}
+			for k := qm.SlotOff[si]; k < qm.SlotOff[si+1]; k++ {
+				// An option is useful only if it can beat the free one.
+				if g := qm.Gamma[k]; g < free {
+					slot = append(slot, lagrange.Option{Index: qm.Compat[k], Cost: g})
+				}
+			}
+			if len(slot) == 0 {
+				feasible = false
+				break
+			}
+			ch.Slots = append(ch.Slots, slot)
+		}
+		if feasible {
+			blk.Choices = append(blk.Choices, ch)
+		}
+	}
+	if len(blk.Choices) == 0 {
+		return blk, fmt.Errorf("cophy: no feasible choice for %s", queryID)
+	}
+	return blk, nil
+}
+
+// buildModelSerial is the original map-based reference implementation
+// of BuildModel: γ probes through the memoized Gamma map, one query at
+// a time. It is retained (and exercised by TestBuildModelMatchesReference)
+// to pin the dense parallel path to the reference semantics.
+func buildModelSerial(inst *Instance) (*lagrange.Model, error) {
+	m := lagrange.NewModel(len(inst.S))
 	m.DistinctPerChoice = true
 	pos := make(map[string]int32, len(inst.S))
 	for i, ix := range inst.S {
@@ -54,9 +162,6 @@ func BuildModel(inst *Instance) (*lagrange.Model, error) {
 		}
 		m.Size[i] = float64(ix.Bytes(t))
 	}
-
-	// Update costs: FixedCost[a] = Σ_u f_u·ucost(a,u); Const gathers
-	// the index-independent base-tuple costs.
 	for _, s := range inst.Workload.Updates() {
 		u := s.Update
 		m.Const += s.Weight * inst.Eng.BaseUpdateCost(u)
@@ -66,8 +171,6 @@ func BuildModel(inst *Instance) (*lagrange.Model, error) {
 			}
 		}
 	}
-
-	// Query blocks from the INUM templates.
 	for _, s := range inst.Workload.Queries() {
 		q := s.Query
 		qi := inst.Inum.PrepareQuery(q)

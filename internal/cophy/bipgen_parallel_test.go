@@ -1,0 +1,77 @@
+package cophy
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/tpch"
+	"repro/internal/workload"
+)
+
+// parallelInstance builds a moderately sized instance with updates in
+// the workload, so both the query-block and the update-cost parallel
+// paths run.
+func parallelInstance(t *testing.T, workers int) *Instance {
+	t.Helper()
+	cat := tpch.Build(tpch.Config{ScaleFactor: 0.05})
+	eng := engine.New(cat, engine.SystemA())
+	w := workload.Het(workload.HetConfig{Queries: 18, Seed: 311})
+	ad := NewAdvisor(cat, eng, Options{})
+	s := Candidates(cat, w, CGenOptions{Covering: true})
+	inst := InstanceForTest(ad, w, s)
+	inst.Workers = workers
+	ad.Inum.Prepare(w)
+	return inst
+}
+
+// TestBuildModelMatchesReference pins the dense parallel BuildModel to
+// the retained map-based serial reference implementation: the emitted
+// models must be deeply equal — same blocks, same option order, same
+// coefficients to the last bit.
+func TestBuildModelMatchesReference(t *testing.T) {
+	inst := parallelInstance(t, 4)
+	got, err := BuildModel(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := buildModelSerial(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumIndexes != want.NumIndexes || got.Const != want.Const {
+		t.Fatalf("scalars differ: (%d, %v) vs (%d, %v)", got.NumIndexes, got.Const, want.NumIndexes, want.Const)
+	}
+	if !reflect.DeepEqual(got.FixedCost, want.FixedCost) {
+		t.Fatal("FixedCost differs between dense and reference build")
+	}
+	if !reflect.DeepEqual(got.Size, want.Size) {
+		t.Fatal("Size differs between dense and reference build")
+	}
+	if len(got.Blocks) != len(want.Blocks) {
+		t.Fatalf("block counts differ: %d vs %d", len(got.Blocks), len(want.Blocks))
+	}
+	for bi := range got.Blocks {
+		if !reflect.DeepEqual(got.Blocks[bi], want.Blocks[bi]) {
+			t.Fatalf("block %d differs between dense and reference build", bi)
+		}
+	}
+}
+
+// TestBuildModelDeterministic asserts worker interleaving cannot
+// change the emitted model (the -race companion of the reference
+// test).
+func TestBuildModelDeterministic(t *testing.T) {
+	inst := parallelInstance(t, 4)
+	a, err := BuildModel(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildModel(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("BuildModel is not deterministic across runs")
+	}
+}

@@ -37,8 +37,10 @@ func (e *Engine) predSel(p workload.Predicate) float64 {
 // the given table, assuming independence.
 func (e *Engine) localSel(q *workload.Query, table string) float64 {
 	sel := 1.0
-	for _, p := range q.PredsOf(table) {
-		sel *= e.predSel(p)
+	for _, p := range q.Preds {
+		if p.Col.Table == table {
+			sel *= e.predSel(p)
+		}
 	}
 	return clampSel(sel)
 }
@@ -49,25 +51,27 @@ func (e *Engine) localSel(q *workload.Query, table string) float64 {
 // It also returns the number of key columns bound by equality and
 // whether any key column is usable at all.
 func (e *Engine) prefixSel(q *workload.Query, ix *catalog.Index) (sel float64, eqBound int, sargable bool) {
-	preds := q.PredsOf(ix.Table)
-	byCol := make(map[string][]workload.Predicate, len(preds))
-	for _, p := range preds {
-		byCol[p.Col.Column] = append(byCol[p.Col.Column], p)
-	}
+	// γ kernel hot path: scan the predicate list directly per key
+	// column (tables carry a handful of predicates at most) instead of
+	// materializing a per-call column map.
 	sel = 1.0
 	for _, k := range ix.Key {
-		ps := byCol[k]
-		if len(ps) == 0 {
-			break
-		}
-		eq := false
-		for _, p := range ps {
+		any, eq := false, false
+		for i := range q.Preds {
+			p := &q.Preds[i]
+			if p.Col.Table != ix.Table || p.Col.Column != k {
+				continue
+			}
+			any = true
 			if p.Op == workload.OpEq {
-				sel *= e.predSel(p)
+				sel *= e.predSel(*p)
 				eq = true
 				sargable = true
 				break
 			}
+		}
+		if !any {
+			break
 		}
 		if eq {
 			eqBound++
@@ -75,8 +79,11 @@ func (e *Engine) prefixSel(q *workload.Query, ix *catalog.Index) (sel float64, e
 		}
 		// A non-equality predicate ends the prefix but still
 		// restricts the scanned key range.
-		for _, p := range ps {
-			sel *= e.predSel(p)
+		for i := range q.Preds {
+			p := &q.Preds[i]
+			if p.Col.Table == ix.Table && p.Col.Column == k {
+				sel *= e.predSel(*p)
+			}
 		}
 		sargable = true
 		break

@@ -18,6 +18,7 @@ type Engine struct {
 	Prof Profile
 
 	whatIfCalls atomic.Int64
+	slotCalls   atomic.Int64
 }
 
 // New returns an engine over the catalog with the given cost profile.
@@ -32,6 +33,15 @@ func (e *Engine) WhatIfCalls() int64 { return e.whatIfCalls.Load() }
 
 // ResetWhatIfCalls zeroes the counter.
 func (e *Engine) ResetWhatIfCalls() { e.whatIfCalls.Store(0) }
+
+// SlotCostCalls returns the number of γ kernel evaluations
+// (SlotScanCost + SlotLookupCost) performed so far — the unit of work
+// the dense CostMatrix compilation spends, reported alongside
+// WhatIfCalls in advisor traffic breakdowns.
+func (e *Engine) SlotCostCalls() int64 { return e.slotCalls.Load() }
+
+// ResetSlotCostCalls zeroes the γ kernel counter.
+func (e *Engine) ResetSlotCostCalls() { e.slotCalls.Store(0) }
 
 // WhatIfPlan optimizes the query under the hypothetical configuration
 // and returns the chosen physical plan. This is the what-if optimizer
@@ -160,32 +170,101 @@ func (e *Engine) finalize(q *workload.Query, root *PlanNode) *PlanNode {
 	return root
 }
 
+// orderSatisfiedByKey reports whether required (qualified "table.col"
+// elements) is a prefix of the order delivered by key columns of
+// table, without materializing the qualified order — the allocation-
+// free core of the γ kernels below.
+func orderSatisfiedByKey(table string, key, required []string) bool {
+	if len(required) > len(key) {
+		return false
+	}
+	for i, r := range required {
+		k := key[i]
+		if len(r) != len(table)+1+len(k) || r[:len(table)] != table || r[len(table)] != '.' || r[len(table)+1:] != k {
+			return false
+		}
+	}
+	return true
+}
+
 // SlotScanCost prices one access method for a single-pass template
 // slot: accessing table with index ix (nil for a heap scan) while
 // delivering requiredOrder. It returns ok=false when the access method
 // cannot implement the slot — the γ = ∞ case of Lemma 1.
+//
+// This is the γ kernel the dense CostMatrix compilation runs once per
+// (query, template, slot, candidate): it prices the paths directly,
+// allocating neither a Config nor PlanNodes, and mirrors scanPaths'
+// cost model exactly (the engine tests cross-check the two).
 func (e *Engine) SlotScanCost(q *workload.Query, table string, ix *catalog.Index, requiredOrder, needCols []string) (float64, bool) {
-	cfg := NewConfig()
-	if ix != nil {
-		if ix.Table != table {
+	e.slotCalls.Add(1)
+	t := e.Cat.Table(table)
+	if t == nil {
+		return 0, false
+	}
+	rows := float64(t.Rows)
+	pages := float64(t.Pages())
+	lsel := e.localSel(q, table)
+	p := e.Prof
+
+	if ix == nil {
+		// Heap sequential scan: always available, never ordered.
+		if len(requiredOrder) > 0 {
 			return 0, false
 		}
-		cfg.Add(ix)
+		return pages*p.SeqPageCost + rows*p.CPUTupleCost, true
 	}
-	paths := e.scanPaths(q, table, cfg, needCols)
+	if ix.Table != table {
+		return 0, false
+	}
+
+	sel, eqBound, sargable := e.prefixSel(q, ix)
+	matchRows := rows * sel
+	if matchRows < 1 {
+		matchRows = 1
+	}
+
+	if ix.Clustered {
+		if sargable {
+			if !orderSatisfiedByKey(table, ix.Key[eqBound:], requiredOrder) {
+				return 0, false
+			}
+			return float64(ix.Height(t))*p.RandPageCost + pages*sel*p.SeqPageCost + matchRows*p.CPUTupleCost, true
+		}
+		// Full clustered scan: heap-scan cost, delivering the
+		// clustering order.
+		if !orderSatisfiedByKey(table, ix.Key, requiredOrder) {
+			return 0, false
+		}
+		return pages*p.SeqPageCost + rows*p.CPUTupleCost, true
+	}
+
+	covering := ix.Covers(needCols)
+	leafPages := float64(ix.LeafPages(t))
+	height := float64(ix.Height(t))
+	fetchPerRow := p.RandPageCost*(1-p.Correlation) + p.SeqPageCost*p.Correlation
 	best := math.Inf(1)
-	for _, pth := range paths {
-		if ix == nil && pth.Index != nil {
-			continue
+
+	// Sargable range scan, delivering the post-equality key order.
+	if sargable && orderSatisfiedByKey(table, ix.Key[eqBound:], requiredOrder) {
+		c := height*p.RandPageCost + leafPages*sel*p.SeqPageCost + matchRows*p.CPUIndexTupleCost
+		if !covering {
+			c += matchRows * fetchPerRow
 		}
-		if ix != nil && pth.Index == nil {
-			continue // pricing the index, not the heap fallback
+		c += matchRows * p.CPUTupleCost // residual filters
+		if c < best {
+			best = c
 		}
-		if len(requiredOrder) > 0 && !satisfiesOrder(pth.Order, requiredOrder) {
-			continue
+	}
+
+	// Full index scan for its order (or covering projection).
+	if orderSatisfiedByKey(table, ix.Key, requiredOrder) {
+		c := leafPages*p.SeqPageCost + rows*p.CPUIndexTupleCost + rows*p.CPUTupleCost
+		if !covering {
+			c += rows * lsel * fetchPerRow
 		}
-		if pth.SelfCost < best {
-			best = pth.SelfCost
+		if c < best {
+			best = c
 		}
 	}
 	if math.IsInf(best, 1) {
@@ -197,16 +276,59 @@ func (e *Engine) SlotScanCost(q *workload.Query, table string, ix *catalog.Index
 // SlotLookupCost prices one access method for a repeated-lookup
 // template slot: lookups probes on joinCol against table via ix. A
 // heap scan cannot implement a lookup slot, so ix must be non-nil.
+// Like SlotScanCost it is a direct, allocation-free γ kernel.
 func (e *Engine) SlotLookupCost(q *workload.Query, table string, ix *catalog.Index, joinCol string, lookups float64, needCols []string) (float64, bool) {
+	e.slotCalls.Add(1)
 	if ix == nil || ix.Table != table {
 		return 0, false
 	}
-	cfg := NewConfig(ix)
-	leaf := e.lookupLeaf(q, table, cfg, joinCol, needCols)
-	if leaf == nil {
+	t := e.Cat.Table(table)
+	if t == nil {
 		return 0, false
 	}
-	return lookups * leaf.SelfCost * e.Prof.NLFudge, true
+	// The join column must follow an equality-bound prefix of the key
+	// (possibly empty) to support point lookups.
+	usable := false
+	for _, k := range ix.Key {
+		if k == joinCol {
+			usable = true
+			break
+		}
+		eq := false
+		for i := range q.Preds {
+			pr := &q.Preds[i]
+			if pr.Col.Table == table && pr.Col.Column == k && pr.Op == workload.OpEq {
+				eq = true
+				break
+			}
+		}
+		if !eq {
+			break
+		}
+	}
+	if !usable {
+		return 0, false
+	}
+
+	rows := float64(t.Rows)
+	lsel := e.localSel(q, table)
+	ndv := e.ndvOf(catalog.ColumnRef{Table: table, Column: joinCol})
+	rowsPerLookup := rows * lsel / ndv
+	if rowsPerLookup < 1e-6 {
+		rowsPerLookup = 1e-6
+	}
+	p := e.Prof
+	height := float64(ix.Height(t))
+	entries := rows / ndv // entries touched per probe before residual filters
+	if entries < 1 {
+		entries = 1
+	}
+	per := height*p.RandPageCost + entries*p.CPUIndexTupleCost + rowsPerLookup*p.CPUTupleCost
+	if !(ix.Clustered || ix.Covers(needCols)) {
+		fetchPerRow := p.RandPageCost*(1-p.Correlation) + p.SeqPageCost*p.Correlation
+		per += rowsPerLookup * fetchPerRow
+	}
+	return lookups * per * p.NLFudge, true
 }
 
 // UpdateCost returns ucost(a, q): the independent maintenance cost

@@ -11,21 +11,26 @@ import (
 // per DP state, bounding optimization time on wide queries.
 const maxEntriesPerMask = 16
 
-// sortNode wraps child in a Sort delivering the required order.
-func (e *Engine) sortNode(child *PlanNode, order []string) *PlanNode {
+// sortSelfCost prices a Sort of rows×width without building the node,
+// so DP candidates can be cost-gated before any allocation.
+func (e *Engine) sortSelfCost(rows, width float64) float64 {
 	p := e.Prof
-	rows := child.Rows
 	cpu := rows * math.Log2(rows+2) * p.CPUOperatorCost * p.SortFudge
-	pages := rows * child.Width / float64(PageSizeF)
+	pages := rows * width / float64(PageSizeF)
 	var io float64
 	if pages > float64(p.MemoryPages) {
 		passes := 1 + math.Ceil(math.Log2(pages/float64(p.MemoryPages)))
 		io = pages * 2 * passes * p.SeqPageCost
 	}
+	return cpu + io
+}
+
+// sortNode wraps child in a Sort delivering the required order.
+func (e *Engine) sortNode(child *PlanNode, order []string) *PlanNode {
 	n := &PlanNode{
 		Op: OpSort, Children: []*PlanNode{child},
-		Rows: rows, Width: child.Width, Order: order,
-		SelfCost: cpu + io,
+		Rows: child.Rows, Width: child.Width, Order: order,
+		SelfCost: e.sortSelfCost(child.Rows, child.Width),
 	}
 	n.Cost = child.Cost + n.SelfCost
 	return n
@@ -51,9 +56,10 @@ func (e *Engine) hashCost(buildRows, buildWidth, probeRows, probeWidth float64) 
 // joinCond is one join predicate connecting a new table to the current
 // DP subset.
 type joinCond struct {
-	outerCol string // qualified column on the subset side
-	innerCol string // unqualified column on the new table
-	sel      float64
+	outerCol  string // qualified column on the subset side
+	innerCol  string // unqualified column on the new table
+	innerColQ string // innerCol qualified with the new table's name
+	sel       float64
 }
 
 // optimizeJoin runs the System-R DP over the query's tables and
@@ -90,6 +96,7 @@ func (e *Engine) optimizeJoin(q *workload.Query, cfg *Config, forced map[string]
 			seen := map[string]bool{}
 			for _, p := range all {
 				cp := *p
+				cp.okey = ""
 				if len(req) > 0 {
 					cp.Order = req
 				} else {
@@ -114,56 +121,149 @@ func (e *Engine) optimizeJoin(q *workload.Query, cfg *Config, forced map[string]
 		paths[i] = all
 	}
 
-	dp := make([]map[string]*PlanNode, 1<<n)
-	add := func(mask int, node *PlanNode) {
-		m := dp[mask]
-		if m == nil {
-			m = make(map[string]*PlanNode)
-			dp[mask] = m
-		}
-		k := orderKey(node.Order)
-		if cur, ok := m[k]; !ok || node.Cost < cur.Cost {
-			m[k] = node
-		}
+	ctx := &dpCtx{
+		e:       e,
+		q:       q,
+		cfg:     cfg,
+		dp:      make([]dpEntries, 1<<n),
+		tables:  tables,
+		lookups: make(map[lookupKey]*PlanNode),
+		sorted:  make(map[sortKey]*PlanNode),
+	}
+	// Per-table invariants hoisted out of the DP loops.
+	ctx.filteredRows = make([]float64, n)
+	for i, t := range tables {
+		ctx.filteredRows[i] = e.tableRows(t) * e.localSel(q, t)
 	}
 	for i := range tables {
 		for _, pth := range paths[i] {
-			add(1<<i, pth)
+			ctx.add(1<<i, pth.key(), pth)
 		}
 	}
 
 	for mask := 1; mask < 1<<n; mask++ {
-		m := dp[mask]
-		if m == nil {
+		if len(ctx.dp[mask].nodes) == 0 {
 			continue
 		}
-		pruneEntries(m)
-		entries := make([]*PlanNode, 0, len(m))
-		for _, nd := range m {
-			entries = append(entries, nd)
-		}
+		ctx.dp[mask].prune()
+		// expandJoin only writes strictly larger masks, so iterating
+		// the entry slice in place is safe.
+		entries := ctx.dp[mask].nodes
 		for t := 0; t < n; t++ {
 			if mask&(1<<t) != 0 {
 				continue
 			}
 			conds, sels := e.connTable(q, tables, mask, t, idx)
 			for _, outer := range entries {
-				e.expandJoin(q, cfg, add, mask, t, tables[t], outer, paths[t], needCols[t], conds, sels, forced)
+				e.expandJoin(ctx, mask, t, outer, paths[t], needCols[t], conds, sels, forced)
 			}
 		}
 	}
 
-	full := dp[(1<<n)-1]
-	if full == nil {
+	full := &ctx.dp[(1<<n)-1]
+	if len(full.nodes) == 0 {
 		return nil
 	}
-	pruneEntries(full)
-	out := make([]*PlanNode, 0, len(full))
-	for _, nd := range full {
-		out = append(out, nd)
-	}
+	full.prune()
+	out := append([]*PlanNode(nil), full.nodes...)
 	sort.Slice(out, func(i, j int) bool { return out[i].Cost < out[j].Cost })
 	return out
+}
+
+// dpEntries holds the Pareto plan entries of one DP subset, keyed by
+// delivered-order key. Entry counts are capped at maxEntriesPerMask,
+// so a linear scan over parallel slices beats a map: no hashing, no
+// iterator state, and far fewer allocations on the optimizer's
+// hottest path.
+type dpEntries struct {
+	keys  []string
+	nodes []*PlanNode
+}
+
+// find returns the position of key, or -1.
+func (d *dpEntries) find(key string) int {
+	for i, k := range d.keys {
+		if k == key {
+			return i
+		}
+	}
+	return -1
+}
+
+// dpCtx is the working state of one optimizeJoin call. Its memo maps
+// cache the DP-loop invariants that the naive formulation recomputes
+// per (outer entry × condition): repeated-lookup leaves depend only on
+// (table, join column) and sorted access paths only on (path, order
+// column), yet both used to be rebuilt — allocations included — for
+// every outer plan under consideration.
+type dpCtx struct {
+	e      *Engine
+	q      *workload.Query
+	cfg    *Config
+	dp     []dpEntries
+	tables []string
+	// filteredRows[i] = |tables[i]| × local selectivity.
+	filteredRows []float64
+	lookups      map[lookupKey]*PlanNode
+	sorted       map[sortKey]*PlanNode
+}
+
+type lookupKey struct {
+	t   int
+	col string
+}
+
+type sortKey struct {
+	node *PlanNode
+	col  string
+}
+
+// better reports whether cost would improve the DP entry at
+// (mask, key) — the allocation gate: nodes are only constructed after
+// this check passes.
+func (c *dpCtx) better(mask int, key string, cost float64) bool {
+	d := &c.dp[mask]
+	i := d.find(key)
+	return i < 0 || cost < d.nodes[i].Cost
+}
+
+// add installs a node under its order key.
+func (c *dpCtx) add(mask int, key string, node *PlanNode) {
+	d := &c.dp[mask]
+	if i := d.find(key); i >= 0 {
+		if node.Cost < d.nodes[i].Cost {
+			d.nodes[i] = node
+		}
+		return
+	}
+	d.keys = append(d.keys, key)
+	d.nodes = append(d.nodes, node)
+}
+
+// lookupLeaf memoizes Engine.lookupLeaf per (table, join column).
+func (c *dpCtx) lookupLeaf(t int, col string, need []string) *PlanNode {
+	k := lookupKey{t, col}
+	if leaf, ok := c.lookups[k]; ok {
+		return leaf
+	}
+	leaf := c.e.lookupLeaf(c.q, c.tables[t], c.cfg, col, need)
+	c.lookups[k] = leaf
+	return leaf
+}
+
+// sortedPath memoizes sortNode wrappers for inner access paths, which
+// recur across every (outer entry, condition) pair of the DP.
+func (c *dpCtx) sortedPath(n *PlanNode, col string) *PlanNode {
+	if satisfiesOrder(n.Order, []string{col}) {
+		return n
+	}
+	k := sortKey{n, col}
+	if s, ok := c.sorted[k]; ok {
+		return s
+	}
+	s := c.e.sortNode(n, []string{col})
+	c.sorted[k] = s
+	return s
 }
 
 // filterForced keeps only the access paths compatible with a forced
@@ -211,29 +311,31 @@ func (e *Engine) connTable(q *workload.Query, tables []string, mask, t int, idx 
 			continue
 		}
 		sel := e.joinSel(j)
-		conds = append(conds, joinCond{outerCol: oTab + "." + oCol, innerCol: tCol, sel: sel})
+		conds = append(conds, joinCond{outerCol: oTab + "." + oCol, innerCol: tCol, innerColQ: name + "." + tCol, sel: sel})
 		sels = append(sels, sel)
 	}
 	return conds, sels
 }
 
 // expandJoin emits the candidate joins of outer (covering mask) with
-// table t into the DP.
-func (e *Engine) expandJoin(q *workload.Query, cfg *Config, add func(int, *PlanNode), mask, t int, tname string,
-	outer *PlanNode, tPaths []*PlanNode, tNeed []string, conds []joinCond, sels []float64, forced map[string][]string) {
+// table t into the DP. Costs are computed before any node is built, so
+// a candidate dominated by the DP entry it would replace allocates
+// nothing — the bulk of candidates in a dense DP.
+func (e *Engine) expandJoin(ctx *dpCtx, mask, t int, outer *PlanNode, tPaths []*PlanNode, tNeed []string,
+	conds []joinCond, sels []float64, forced map[string][]string) {
 
 	p := e.Prof
+	tname := ctx.tables[t]
 	newMask := mask | 1<<t
 
 	// Cross products are permitted only when no join condition exists
 	// (disconnected queries); they cost their cardinality.
 	cross := len(conds) == 0
 
+	// Hash join (or cross product via nested materialization); the
+	// result is unordered, so every inner competes for the "" entry.
 	for _, inner := range tPaths {
 		rows := joinRows(outer.Rows, inner.Rows, sels)
-		width := outer.Width + inner.Width
-
-		// Hash join (or cross product via nested materialization).
 		var extra float64
 		if cross {
 			extra = outer.Rows * inner.Rows * p.CPUOperatorCost
@@ -242,32 +344,50 @@ func (e *Engine) expandJoin(q *workload.Query, cfg *Config, add func(int, *PlanN
 		} else {
 			extra = e.hashCost(outer.Rows, outer.Width, inner.Rows, inner.Width)
 		}
-		hj := &PlanNode{
-			Op: OpHashJoin, Children: []*PlanNode{outer, inner},
-			Rows: rows, Width: width,
-			SelfCost: extra + rows*p.CPUTupleCost,
+		self := extra + rows*p.CPUTupleCost
+		cost := outer.Cost + inner.Cost + self
+		if ctx.better(newMask, "", cost) {
+			hj := &PlanNode{
+				Op: OpHashJoin, Children: []*PlanNode{outer, inner},
+				Rows: rows, Width: outer.Width + inner.Width,
+				SelfCost: self, Cost: cost,
+			}
+			ctx.add(newMask, "", hj)
 		}
-		hj.Cost = outer.Cost + inner.Cost + hj.SelfCost
-		add(newMask, hj)
+	}
 
-		// Merge join per join condition.
-		for _, c := range conds {
-			o := outer
-			if !satisfiesOrder(o.Order, []string{c.outerCol}) {
-				o = e.sortNode(o, []string{c.outerCol})
+	// Merge join per condition: the outer sort (if needed) is cost-
+	// gated and built at most once per condition; inner sorts are
+	// memoized per (path, column) in the context. A freshly sorted
+	// outer delivers exactly [outerCol], whose order key is the column
+	// itself — no key assembly needed.
+	for _, c := range conds {
+		var o *PlanNode
+		oCost, oRows := outer.Cost, outer.Rows
+		okey := c.outerCol
+		presorted := satisfiesOrder(outer.Order, []string{c.outerCol})
+		if presorted {
+			o = outer
+			okey = outer.key()
+		} else {
+			oCost += e.sortSelfCost(outer.Rows, outer.Width)
+		}
+		for _, inner := range tPaths {
+			in := ctx.sortedPath(inner, c.innerColQ)
+			rows := joinRows(outer.Rows, inner.Rows, sels)
+			self := (oRows + in.Rows) * p.CPUOperatorCost
+			cost := oCost + in.Cost + self
+			if ctx.better(newMask, okey, cost) {
+				if o == nil {
+					o = ctx.sortedPath(outer, c.outerCol)
+				}
+				mj := &PlanNode{
+					Op: OpMergeJoin, Children: []*PlanNode{o, in},
+					Rows: rows, Width: outer.Width + inner.Width, Order: o.Order,
+					SelfCost: self, Cost: cost,
+				}
+				ctx.add(newMask, okey, mj)
 			}
-			in := inner
-			innerOrderCol := tname + "." + c.innerCol
-			if !satisfiesOrder(in.Order, []string{innerOrderCol}) {
-				in = e.sortNode(in, []string{innerOrderCol})
-			}
-			mj := &PlanNode{
-				Op: OpMergeJoin, Children: []*PlanNode{o, in},
-				Rows: rows, Width: width, Order: o.Order,
-				SelfCost: (o.Rows + in.Rows) * p.CPUOperatorCost,
-			}
-			mj.Cost = o.Cost + in.Cost + mj.SelfCost
-			add(newMask, mj)
 		}
 	}
 
@@ -275,58 +395,78 @@ func (e *Engine) expandJoin(q *workload.Query, cfg *Config, add func(int, *PlanN
 	// honor a forced order requirement on the inner table.
 	if req, constrained := lookupForced(forced, tname); !constrained || len(req) == 0 {
 		for _, c := range conds {
-			leaf := e.lookupLeaf(q, tname, cfg, c.innerCol, tNeed)
+			leaf := ctx.lookupLeaf(t, c.innerCol, tNeed)
 			if leaf == nil {
 				continue
 			}
-			rows := joinRows(outer.Rows, e.tableRows(tname)*e.localSel(q, tname), sels)
-			inner := &PlanNode{
-				Op: OpIndexLookup, Table: tname, Index: leaf.Index,
-				Rows: leaf.Rows, Width: leaf.Width,
-				Lookups:   outer.Rows,
-				LookupCol: c.innerCol,
-				SelfCost:  outer.Rows * leaf.SelfCost * p.NLFudge,
+			rows := joinRows(outer.Rows, ctx.filteredRows[t], sels)
+			innerCost := outer.Rows * leaf.SelfCost * p.NLFudge
+			self := rows * p.CPUTupleCost
+			cost := outer.Cost + innerCost + self
+			key := outer.key()
+			if ctx.better(newMask, key, cost) {
+				inner := &PlanNode{
+					Op: OpIndexLookup, Table: tname, Index: leaf.Index,
+					Rows: leaf.Rows, Width: leaf.Width,
+					Lookups:   outer.Rows,
+					LookupCol: c.innerCol,
+					SelfCost:  innerCost, Cost: innerCost,
+				}
+				nl := &PlanNode{
+					Op: OpNLJoin, Children: []*PlanNode{outer, inner},
+					Rows: rows, Width: outer.Width + leaf.Width, Order: outer.Order,
+					SelfCost: self, Cost: cost,
+				}
+				ctx.add(newMask, key, nl)
 			}
-			inner.Cost = inner.SelfCost
-			nl := &PlanNode{
-				Op: OpNLJoin, Children: []*PlanNode{outer, inner},
-				Rows: rows, Width: outer.Width + leaf.Width, Order: outer.Order,
-				SelfCost: rows * p.CPUTupleCost,
-			}
-			nl.Cost = outer.Cost + inner.Cost + nl.SelfCost
-			add(mask|1<<t, nl)
 		}
 	}
 }
 
-// pruneEntries drops dominated DP entries: an entry whose order is a
-// prefix of another entry's order and whose cost is higher is never
-// useful. It then caps the entry count.
-func pruneEntries(m map[string]*PlanNode) {
-	for k, nd := range m {
-		for _, other := range m {
-			if other == nd {
+// prune drops dominated DP entries — an entry whose order is a prefix
+// of another entry's order and whose cost is higher is never useful —
+// and then caps the entry count at maxEntriesPerMask by cost.
+func (d *dpEntries) prune() {
+	n := len(d.nodes)
+	kept := 0
+	for i := 0; i < n; i++ {
+		nd := d.nodes[i]
+		dominated := false
+		for j := 0; j < n; j++ {
+			if j == i {
 				continue
 			}
+			// Mutual domination is impossible: it would force equal
+			// costs and mutually-prefix (hence equal) orders, and
+			// entries have distinct order keys.
+			other := d.nodes[j]
 			if other.Cost <= nd.Cost && satisfiesOrder(other.Order, nd.Order) {
-				delete(m, k)
+				dominated = true
 				break
 			}
 		}
+		if !dominated {
+			d.keys[kept] = d.keys[i]
+			d.nodes[kept] = d.nodes[i]
+			kept++
+		}
 	}
-	if len(m) <= maxEntriesPerMask {
+	d.keys = d.keys[:kept]
+	d.nodes = d.nodes[:kept]
+	if kept <= maxEntriesPerMask {
 		return
 	}
-	type kv struct {
-		k string
-		c float64
+	perm := make([]int, kept)
+	for i := range perm {
+		perm[i] = i
 	}
-	all := make([]kv, 0, len(m))
-	for k, nd := range m {
-		all = append(all, kv{k, nd.Cost})
+	sort.Slice(perm, func(a, b int) bool { return d.nodes[perm[a]].Cost < d.nodes[perm[b]].Cost })
+	keys := make([]string, maxEntriesPerMask)
+	nodes := make([]*PlanNode, maxEntriesPerMask)
+	for i := 0; i < maxEntriesPerMask; i++ {
+		keys[i] = d.keys[perm[i]]
+		nodes[i] = d.nodes[perm[i]]
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i].c < all[j].c })
-	for _, e := range all[maxEntriesPerMask:] {
-		delete(m, e.k)
-	}
+	d.keys = keys
+	d.nodes = nodes
 }

@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/cophy"
+	"repro/internal/engine"
+	"repro/internal/inum"
+	"repro/internal/lagrange"
+	"repro/internal/tpch"
+	"repro/internal/workload"
+)
+
+// BenchResult is one exported benchmark measurement — the schema of
+// the BENCH_*.json regression files future PRs diff against.
+type BenchResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+func toResult(name string, r testing.BenchmarkResult) BenchResult {
+	return BenchResult{
+		Name:        name,
+		NsPerOp:     float64(r.NsPerOp()),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		Iterations:  r.N,
+	}
+}
+
+// benchEnv is the shared fixture of the micro-benchmarks: a TPC-H
+// catalog, engine, baseline, prepared INUM cache and a candidate set.
+type benchEnv struct {
+	cat   *catalog.Catalog
+	eng   *engine.Engine
+	base  *engine.Config
+	w     *workload.Workload
+	cache *inum.Cache
+	s     []*catalog.Index
+}
+
+func newBenchEnv(queries int) *benchEnv {
+	cat := tpch.Build(tpch.Config{ScaleFactor: 1})
+	eng := engine.New(cat, engine.SystemA())
+	w := workload.Hom(workload.HomConfig{Queries: queries, Seed: 5})
+	cache := inum.New(eng)
+	cache.Prepare(w)
+	return &benchEnv{
+		cat:   cat,
+		eng:   eng,
+		base:  engine.NewConfig(tpch.BaselineIndexes(cat)...),
+		w:     w,
+		cache: cache,
+		s:     cophy.Candidates(cat, w, cophy.CGenOptions{Covering: true}),
+	}
+}
+
+// BenchInum measures the INUM cost substrate: raw what-if
+// optimization, the map-based reference cost path, the dense matrix
+// compilation and its evaluation.
+func BenchInum() ([]BenchResult, error) {
+	e := newBenchEnv(30)
+	var out []BenchResult
+
+	var q *workload.Query
+	for _, st := range e.w.Queries() {
+		if len(st.Query.Tables) >= 4 {
+			q = st.Query
+			break
+		}
+	}
+	if q == nil {
+		q = e.w.Queries()[0].Query
+	}
+	out = append(out, toResult("WhatIfOptimize", testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := e.eng.WhatIfCost(q, e.base); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})))
+
+	cfg := e.base.Union(engine.NewConfig(&catalog.Index{Table: "lineitem", Key: []string{"l_shipdate"}}))
+	out = append(out, toResult("INUMCostMapPath", testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := e.cache.Cost(q, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})))
+
+	out = append(out, toResult("CostMatrixCompile", testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e.cache.CompileMatrix(e.w, e.s, e.base, 0)
+		}
+	})))
+
+	mat := e.cache.CompileMatrix(e.w, e.s, e.base, 0)
+	qm := mat.Query(q)
+	sel := make([]bool, len(e.s))
+	for i := range sel {
+		sel[i] = i%3 == 0
+	}
+	out = append(out, toResult("CostMatrixEval", testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, ok := qm.Cost(sel); !ok {
+				b.Fatal("infeasible")
+			}
+		}
+	})))
+
+	out = append(out, toResult("INUMPrepare", testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c := inum.New(e.eng)
+			c.Prepare(e.w)
+		}
+	})))
+	return out, nil
+}
+
+// BenchSolver measures the solve pipeline: BIPGen model construction
+// and the Lagrangian solver, cold and dual-warm-started.
+func BenchSolver() ([]BenchResult, error) {
+	e := newBenchEnv(40)
+	var out []BenchResult
+
+	ad := cophy.NewAdvisor(e.cat, e.eng, cophy.Options{})
+	ad.Inum.Prepare(e.w)
+	inst := cophy.InstanceForTest(ad, e.w, e.s)
+
+	out = append(out, toResult("BuildModel", testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cophy.BuildModel(inst); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})))
+
+	m, err := cophy.BuildModel(inst)
+	if err != nil {
+		return nil, err
+	}
+	m.Budget = 0.5 * float64(e.cat.TotalBytes())
+
+	out = append(out, toResult("LagrangeSolve", testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			lagrange.Solve(m, lagrange.Options{GapTol: 0.05, RootIters: 160, MaxNodes: 16})
+		}
+	})))
+
+	seed := lagrange.Solve(m, lagrange.Options{GapTol: 0.05, RootIters: 400, MaxNodes: 16})
+	out = append(out, toResult("LagrangeSolveWarm", testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			lagrange.Solve(m, lagrange.Options{
+				GapTol: 0.05, RootIters: 400, MaxNodes: 16,
+				Warm: seed.Lambda, Start: seed.Selected,
+			})
+		}
+	})))
+	return out, nil
+}
+
+// WriteBenchJSON runs both suites and writes BENCH_inum.json and
+// BENCH_solver.json into dir — the perf-trajectory artifacts the
+// benchmark regression harness tracks across PRs.
+func WriteBenchJSON(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	suites := []struct {
+		file string
+		run  func() ([]BenchResult, error)
+	}{
+		{"BENCH_inum.json", BenchInum},
+		{"BENCH_solver.json", BenchSolver},
+	}
+	for _, s := range suites {
+		results, err := s.run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", s.file, err)
+		}
+		data, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(dir, s.file)
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d benchmarks)\n", path, len(results))
+	}
+	return nil
+}

@@ -96,4 +96,3 @@ func TestSecsAndPct(t *testing.T) {
 		t.Fatalf("ratio = %q", ratio(1.234))
 	}
 }
-

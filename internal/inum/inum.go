@@ -62,16 +62,23 @@ type Template struct {
 	Internal float64
 	// Slots lists the access-method holes, one per referenced table.
 	Slots []Slot
+
+	// sig memoizes signature(); templates are immutable once built.
+	sig string
 }
 
 // signature canonically identifies the template's slot structure.
 func (t *Template) signature() string {
+	if t.sig != "" {
+		return t.sig
+	}
 	parts := make([]string, len(t.Slots))
 	for i, s := range t.Slots {
 		parts[i] = fmt.Sprintf("%s/%d/%s/%s/%.0f", s.Table, s.Mode, strings.Join(s.RequiredOrder, "+"), s.JoinCol, s.Lookups)
 	}
 	sort.Strings(parts)
-	return strings.Join(parts, ";") + fmt.Sprintf("|%.3f", t.Internal)
+	t.sig = strings.Join(parts, ";") + fmt.Sprintf("|%.3f", t.Internal)
+	return t.sig
 }
 
 // QueryInfo is the INUM cache entry for one query: its template plans

@@ -108,7 +108,7 @@ func (s *solver) tryCandidate(sel []bool) {
 	if ok, _ := m.SelectionFeasible(sel); !ok {
 		return
 	}
-	obj, ok := m.Evaluate(sel)
+	obj, ok := s.evaluate(sel)
 	if !ok {
 		return
 	}
@@ -147,7 +147,7 @@ func (s *solver) localSearch() {
 			if ok, _ := m.SelectionFeasible(trial); !ok {
 				continue
 			}
-			obj, ok := m.Evaluate(trial)
+			obj, ok := s.evaluate(trial)
 			evals++
 			if ok && obj < s.bestObj-1e-9 {
 				s.bestObj = obj
@@ -178,7 +178,7 @@ func (s *solver) localSearch() {
 			if ok, _ := m.SelectionFeasible(trial); !ok {
 				continue
 			}
-			obj, ok := m.Evaluate(trial)
+			obj, ok := s.evaluate(trial)
 			evals++
 			if ok && obj < s.bestObj-1e-9 {
 				s.bestObj = obj
@@ -205,7 +205,7 @@ func (s *solver) dropRedundant() {
 			continue
 		}
 		s.bestSel[a] = false
-		obj, ok := s.m.Evaluate(s.bestSel)
+		obj, ok := s.evaluate(s.bestSel)
 		if feas, _ := s.m.SelectionFeasible(s.bestSel); ok && feas && obj <= s.bestObj*(1+1e-12) {
 			s.bestObj = obj
 			continue

@@ -1,0 +1,97 @@
+package lagrange
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/lp"
+)
+
+// randomModel builds a block-structured model large enough to cross
+// the parallel-evaluation threshold.
+func randomBlockModel(seed int64, blocks, indexes int) *Model {
+	rng := rand.New(rand.NewSource(seed))
+	m := NewModel(indexes)
+	for a := 0; a < indexes; a++ {
+		m.FixedCost[a] = rng.Float64() * 4
+		m.Size[a] = 1 + rng.Float64()*9
+	}
+	m.Budget = float64(indexes) * 2.5
+	for b := 0; b < blocks; b++ {
+		blk := Block{Weight: 0.5 + rng.Float64()}
+		choices := 1 + rng.Intn(3)
+		for c := 0; c < choices; c++ {
+			ch := Choice{Fixed: rng.Float64() * 10}
+			slots := 1 + rng.Intn(3)
+			for sl := 0; sl < slots; sl++ {
+				slot := Slot{{Index: NoIndex, Cost: 5 + rng.Float64()*10}}
+				opts := rng.Intn(4)
+				used := map[int32]bool{}
+				for o := 0; o < opts; o++ {
+					a := int32(rng.Intn(indexes))
+					if used[a] {
+						continue
+					}
+					used[a] = true
+					slot = append(slot, Option{Index: a, Cost: rng.Float64() * 5})
+				}
+				ch.Slots = append(ch.Slots, slot)
+			}
+			blk.Choices = append(blk.Choices, ch)
+		}
+		m.Blocks = append(m.Blocks, blk)
+	}
+	if err := m.Validate(); err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// TestSolveDeterministicAcrossWorkerCounts asserts the headline
+// fixed-seed determinism property: the parallel block-dual fan-out
+// with its in-order reduction must produce results identical to the
+// serial solver, and identical across repeated runs.
+func TestSolveDeterministicAcrossWorkerCounts(t *testing.T) {
+	for _, seed := range []int64{1, 7, 23} {
+		m := randomBlockModel(seed, 40, 30)
+		opts := func(workers int) Options {
+			return Options{GapTol: 1e-6, RootIters: 120, MaxNodes: 8, Workers: workers}
+		}
+		serial := Solve(m, opts(1))
+		for _, workers := range []int{2, 4} {
+			par := Solve(m, opts(workers))
+			if !reflect.DeepEqual(serial.Selected, par.Selected) {
+				t.Fatalf("seed %d: selections differ between 1 and %d workers", seed, workers)
+			}
+			if serial.Objective != par.Objective || serial.Lower != par.Lower ||
+				serial.Iters != par.Iters || serial.Nodes != par.Nodes {
+				t.Fatalf("seed %d: result differs between 1 and %d workers: %+v vs %+v",
+					seed, workers, serial, par)
+			}
+		}
+		again := Solve(m, opts(4))
+		if !reflect.DeepEqual(serial.Selected, again.Selected) || serial.Objective != again.Objective {
+			t.Fatalf("seed %d: repeated solve differs", seed)
+		}
+	}
+}
+
+// TestSolveDeterministicWithSideConstraints exercises the warm-started
+// z-polytope LP path (Extra non-empty) under the same determinism
+// contract.
+func TestSolveDeterministicWithSideConstraints(t *testing.T) {
+	m := randomBlockModel(11, 32, 24)
+	m.Extra = append(m.Extra, Constraint{
+		Terms: []Term{{Index: 0, Coef: 1}, {Index: 1, Coef: 1}, {Index: 2, Coef: 1}},
+		Sense: lp.LE, RHS: 2, Name: "atmost2",
+	})
+	serial := Solve(m, Options{GapTol: 1e-6, RootIters: 100, MaxNodes: 8, Workers: 1})
+	par := Solve(m, Options{GapTol: 1e-6, RootIters: 100, MaxNodes: 8, Workers: 4})
+	if !reflect.DeepEqual(serial.Selected, par.Selected) || serial.Objective != par.Objective || serial.Iters != par.Iters {
+		t.Fatalf("constrained solve differs between worker counts: %+v vs %+v", serial, par)
+	}
+	if ok, _ := m.SelectionFeasible(serial.Selected); !ok {
+		t.Fatal("solution violates side constraints")
+	}
+}

@@ -2,11 +2,13 @@ package lagrange
 
 import (
 	"math"
+	"runtime"
 	"sort"
 	"time"
 
 	"repro/internal/bip"
 	"repro/internal/lp"
+	"repro/internal/par"
 )
 
 // checkBinaryFeasible decides binary feasibility of the small z
@@ -64,6 +66,12 @@ type Options struct {
 	MaxNodes int
 	// TimeLimit stops the search after this duration (0 = none).
 	TimeLimit time.Duration
+	// Workers bounds the goroutines evaluating block duals per
+	// subgradient iteration (0 = GOMAXPROCS, 1 = serial). Blocks share
+	// only λ within an iteration, read-only, and the reduction is
+	// performed serially in block order, so any worker count produces
+	// bit-identical results.
+	Workers int
 	// Start is a MIP start: an initial selection used as incumbent
 	// when feasible.
 	Start []bool
@@ -115,9 +123,28 @@ type solver struct {
 	groupIdx  [][]int32
 	keys      [][]siteKey
 
+	// flat is the model compiled into contiguous arrays — the solver's
+	// equivalent of the INUM γ slabs. blockDual and evaluate walk these
+	// instead of the pointer-chasing Blocks/Choices/Slots nesting; the
+	// iteration order is identical, so results are bit-equal to the
+	// structured walk.
+	flat flatModel
+
 	// attract[a] = Σ_sites w_b·λ_site over sites using index a,
 	// maintained incrementally.
 	attract []float64
+
+	// workers is the block-dual pool size; blockVal and blockUses are
+	// the per-iteration result arrays (indexed by block, written by
+	// exactly one worker each), and scratches the per-worker buffers.
+	workers   int
+	blockVal  []float64
+	blockUses [][]int32
+	scratches []blockScratch
+	// zBasis carries the z-polytope LP basis across subgradient
+	// iterations: the polytope is fixed, only the objective moves, so
+	// each re-solve warm-starts from the previous optimal basis.
+	zBasis *lp.Basis
 
 	start time.Time
 	iters int
@@ -154,16 +181,30 @@ func Solve(m *Model, opts Options) Result {
 		return Result{Infeasible: true, Gap: math.Inf(1)}
 	}
 
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(m.Blocks) {
+		workers = len(m.Blocks)
+	}
+	if workers < 1 {
+		workers = 1
+	}
 	s := &solver{
-		m:        m,
-		opts:     opts,
-		attract:  make([]float64, m.NumIndexes),
-		start:    time.Now(),
-		fixedIn:  make([]bool, m.NumIndexes),
-		fixedOut: make([]bool, m.NumIndexes),
-		bestObj:  math.Inf(1),
-		lower:    math.Inf(-1),
-		events:   opts.Progress,
+		m:         m,
+		opts:      opts,
+		attract:   make([]float64, m.NumIndexes),
+		workers:   workers,
+		blockVal:  make([]float64, len(m.Blocks)),
+		blockUses: make([][]int32, len(m.Blocks)),
+		scratches: make([]blockScratch, workers),
+		start:     time.Now(),
+		fixedIn:   make([]bool, m.NumIndexes),
+		fixedOut:  make([]bool, m.NumIndexes),
+		bestObj:   math.Inf(1),
+		lower:     math.Inf(-1),
+		events:    opts.Progress,
 	}
 	s.compile()
 	if opts.Warm != nil {
@@ -218,22 +259,47 @@ func Solve(m *Model, opts Options) Result {
 	}
 }
 
-// compile enumerates the use sites of every block and allocates their
-// multiplier groups.
+// flatModel is the model's block structure compiled into contiguous
+// offset/payload arrays: choices of block bi are blockChoice[bi] ..
+// blockChoice[bi+1], slots of choice ci are choiceSlot[ci] ..
+// choiceSlot[ci+1], and options of slot si are slotOpt[si] ..
+// slotOpt[si+1] into optCost/optIdx. blockOpt[bi] is the first option
+// of block bi, aligning flat option positions with the per-block site
+// numbering of siteGroup.
+type flatModel struct {
+	blockChoice []int32
+	blockOpt    []int32
+	choiceFixed []float64
+	choiceSlot  []int32
+	slotOpt     []int32
+	optCost     []float64
+	optIdx      []int32
+}
+
+// compile enumerates the use sites of every block, allocates their
+// multiplier groups and lays the block structure out flat.
 func (s *solver) compile() {
 	m := s.m
 	s.lam = make([][]float64, len(m.Blocks))
 	s.siteGroup = make([][]int32, len(m.Blocks))
 	s.groupIdx = make([][]int32, len(m.Blocks))
 	s.keys = make([][]siteKey, len(m.Blocks))
+	f := &s.flat
+	f.blockChoice = make([]int32, 1, len(m.Blocks)+1)
+	f.blockOpt = make([]int32, 1, len(m.Blocks)+1)
+	f.choiceSlot = make([]int32, 1, 64)
+	f.slotOpt = make([]int32, 1, 64)
 	for bi := range m.Blocks {
 		var siteGroup []int32
 		var groupIdx []int32
 		var keys []siteKey
 		byIndex := map[int32]int32{} // aggregated mode: index → group
 		for ci, c := range m.Blocks[bi].Choices {
+			f.choiceFixed = append(f.choiceFixed, c.Fixed)
 			for si, slot := range c.Slots {
 				for _, o := range slot {
+					f.optCost = append(f.optCost, o.Cost)
+					f.optIdx = append(f.optIdx, o.Index)
 					if o.Index == NoIndex {
 						siteGroup = append(siteGroup, -1)
 						continue
@@ -254,8 +320,12 @@ func (s *solver) compile() {
 						siteGroup = append(siteGroup, g)
 					}
 				}
+				f.slotOpt = append(f.slotOpt, int32(len(f.optCost)))
 			}
+			f.choiceSlot = append(f.choiceSlot, int32(len(f.slotOpt)-1))
 		}
+		f.blockChoice = append(f.blockChoice, int32(len(f.choiceFixed)))
+		f.blockOpt = append(f.blockOpt, int32(len(f.optCost)))
 		s.siteGroup[bi] = siteGroup
 		s.groupIdx[bi] = groupIdx
 		s.keys[bi] = keys
@@ -391,39 +461,47 @@ func (s *solver) emit() {
 	})
 }
 
-// blockDual evaluates block bi under the current multipliers,
-// returning the minimum Lagrangian choice value and the group
-// positions (into lam[bi]/groupIdx[bi]) the winning choice selects.
-// Indexes fixed out by branching are unavailable.
-func (s *solver) blockDual(bi int, usedBuf []int32) (float64, []int32) {
-	b := &s.m.Blocks[bi]
+// blockScratch holds one worker's reusable buffers for block-dual
+// evaluation.
+type blockScratch struct {
+	uses []int32 // winning choice's group positions
+	tmp  []int32 // current choice's group positions
+}
+
+// blockDual evaluates block bi under the current multipliers, leaving
+// the minimum Lagrangian choice value as the return and the group
+// positions (into lam[bi]/groupIdx[bi]) the winning choice selects in
+// sc.uses. Indexes fixed out by branching are unavailable. It reads
+// only state that is constant within a subgradient iteration (λ,
+// fixings, the model), so distinct blocks may be evaluated
+// concurrently.
+func (s *solver) blockDual(bi int, sc *blockScratch) float64 {
+	f := &s.flat
 	lam := s.lam[bi]
 	groups := s.siteGroup[bi]
+	fixedOut := s.fixedOut
+	base := f.blockOpt[bi]
 	best := math.Inf(1)
-	bestUses := usedBuf[:0]
-	var scratch []int32
-	site := 0
-	for ci := range b.Choices {
-		c := &b.Choices[ci]
-		v := c.Fixed
+	sc.uses = sc.uses[:0]
+	scratch := sc.tmp[:0]
+	for ci := f.blockChoice[bi]; ci < f.blockChoice[bi+1]; ci++ {
+		v := f.choiceFixed[ci]
 		scratch = scratch[:0]
 		ok := true
-		for _, slot := range c.Slots {
+		for si := f.choiceSlot[ci]; si < f.choiceSlot[ci+1]; si++ {
 			slotBest := math.Inf(1)
 			slotGroup := int32(-1)
-			for _, o := range slot {
-				g := groups[site]
-				site++
-				cost := o.Cost
-				if o.Index != NoIndex {
-					if s.fixedOut[o.Index] {
+			for oi := f.slotOpt[si]; oi < f.slotOpt[si+1]; oi++ {
+				cost := f.optCost[oi]
+				if idx := f.optIdx[oi]; idx != NoIndex {
+					if fixedOut[idx] {
 						continue
 					}
-					cost += lam[g]
+					cost += lam[groups[oi-base]]
 				}
 				if cost < slotBest {
 					slotBest = cost
-					slotGroup = g
+					slotGroup = groups[oi-base]
 				}
 			}
 			if math.IsInf(slotBest, 1) {
@@ -438,11 +516,84 @@ func (s *solver) blockDual(bi int, usedBuf []int32) (float64, []int32) {
 		}
 		if ok && v < best {
 			best = v
-			bestUses = append(bestUses[:0], scratch...)
+			sc.uses = append(sc.uses[:0], scratch...)
 		}
 	}
-	return best, bestUses
+	sc.tmp = scratch
+	return best
 }
+
+// evaluate is the solver-side twin of Model.Evaluate over the flat
+// layout: the true objective of a selection, false when a block has no
+// evaluable choice or a per-statement cost cap is violated. Identical
+// iteration order keeps it bit-equal to the reference method.
+func (s *solver) evaluate(selected []bool) (float64, bool) {
+	m := s.m
+	f := &s.flat
+	total := m.Const
+	for a, sel := range selected {
+		if sel {
+			total += m.FixedCost[a]
+		}
+	}
+	for bi := range m.Blocks {
+		best := math.Inf(1)
+		for ci := f.blockChoice[bi]; ci < f.blockChoice[bi+1]; ci++ {
+			v := f.choiceFixed[ci]
+			ok := true
+			for si := f.choiceSlot[ci]; si < f.choiceSlot[ci+1]; si++ {
+				slotBest := math.Inf(1)
+				for oi := f.slotOpt[si]; oi < f.slotOpt[si+1]; oi++ {
+					if idx := f.optIdx[oi]; idx != NoIndex && !selected[idx] {
+						continue
+					}
+					if c := f.optCost[oi]; c < slotBest {
+						slotBest = c
+					}
+				}
+				if math.IsInf(slotBest, 1) {
+					ok = false
+					break
+				}
+				v += slotBest
+			}
+			if ok && v < best {
+				best = v
+			}
+		}
+		if math.IsInf(best, 1) {
+			return 0, false
+		}
+		if cap := m.Blocks[bi].CostCap; cap > 0 && best > cap*(1+1e-9) {
+			return 0, false // per-statement cost constraint violated
+		}
+		total += m.Blocks[bi].Weight * best
+	}
+	return total, true
+}
+
+// evalBlocks computes every block dual of the current iteration into
+// blockVal/blockUses. With more than one worker the blocks fan out
+// over goroutines — they share only read-only state, and each result
+// slot is written by exactly one worker — so the outcome is identical
+// to the serial pass; callers reduce blockVal in block order, keeping
+// floating-point sums deterministic.
+func (s *solver) evalBlocks() {
+	nb := len(s.m.Blocks)
+	workers := s.workers
+	if nb < minParallelBlocks {
+		workers = 1
+	}
+	par.ForWorker(nb, workers, func(worker, bi int) {
+		sc := &s.scratches[worker]
+		s.blockVal[bi] = s.blockDual(bi, sc)
+		s.blockUses[bi] = append(s.blockUses[bi][:0], sc.uses...)
+	})
+}
+
+// minParallelBlocks gates the goroutine fan-out: tiny models are not
+// worth the synchronization.
+const minParallelBlocks = 16
 
 // zSubproblem minimizes Σ (FixedCost[a] − attract[a])·z_a over the
 // relaxed z polytope. It returns the optimal value (a valid lower-
@@ -456,11 +607,15 @@ func (s *solver) zSubproblem() (float64, []float64) {
 	if len(m.Extra) == 0 {
 		return s.fractionalKnapsack(rc)
 	}
+	// The polytope is identical between iterations (only the objective
+	// and, under branching, bounds move), so each re-solve warm-starts
+	// from the previous optimal basis.
 	p := m.zPolytopeLP(rc, s.fixedIn, s.fixedOut)
-	sol := lp.Solve(p)
+	sol := lp.SolveFrom(p, s.zBasis)
 	if sol.Status == lp.Infeasible {
 		return math.Inf(1), nil
 	}
+	s.zBasis = sol.Basis
 	return sol.Obj, sol.X
 }
 
@@ -549,13 +704,13 @@ func (s *solver) subgradient(iters int, updateGlobal bool) (float64, []float64, 
 		// Ablation mode: bound with λ = 0 only — each block priced as
 		// if every index were free. Exists to quantify what the
 		// relax(B) step buys; the bound never tightens.
+		s.evalBlocks()
 		lbConst := m.Const
 		for bi := range m.Blocks {
-			v, buf := s.blockDual(bi, nil)
-			for _, g := range buf {
+			for _, g := range s.blockUses[bi] {
 				usedLast[s.groupIdx[bi][g]] = true
 			}
-			lbConst += m.Blocks[bi].Weight * v
+			lbConst += m.Blocks[bi].Weight * s.blockVal[bi]
 		}
 		zv, zf := s.zSubproblem()
 		s.heuristics(zf)
@@ -569,18 +724,17 @@ func (s *solver) subgradient(iters int, updateGlobal bool) (float64, []float64, 
 		}
 		s.iters++
 
-		// 1. Block duals and usage.
+		// 1. Block duals and usage (fanned out across the worker pool;
+		// reduced here in block order for exact determinism).
 		for a := range usedCount {
 			usedCount[a] = 0
 		}
+		s.evalBlocks()
 		lb := m.Const
-		var usedBuf []int32
-		blockUses := make([][]int32, len(m.Blocks))
+		blockUses := s.blockUses
 		for bi := range m.Blocks {
-			v, buf := s.blockDual(bi, usedBuf[:0])
-			lb += m.Blocks[bi].Weight * v
-			blockUses[bi] = append([]int32(nil), buf...)
-			for _, g := range buf {
+			lb += m.Blocks[bi].Weight * s.blockVal[bi]
+			for _, g := range blockUses[bi] {
 				usedCount[s.groupIdx[bi][g]]++
 			}
 		}

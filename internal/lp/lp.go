@@ -159,6 +159,21 @@ type Solution struct {
 	Obj float64
 	// Iters is the number of simplex pivots performed.
 	Iters int
+	// Basis snapshots the final simplex basis; feed it to SolveFrom on
+	// a structurally identical problem (same rows and columns, bounds
+	// and objective free to differ) to warm-start the next solve.
+	Basis *Basis
+}
+
+// Basis is a reusable simplex starting point: the basic column of each
+// row plus the bound each nonbasic column rests at. Branch-and-bound
+// child nodes differ from their parent by one variable bound, and the
+// Lagrangian z subproblem changes only its objective between
+// iterations, so re-solves that start from the parent basis pivot from
+// a near-optimal point instead of running Phase 1 from scratch.
+type Basis struct {
+	cols []int  // basic column per row (structural/slack; -1 = row's own slack)
+	atHi []bool // nonbasic-at-upper flag per structural/slack column
 }
 
 const (
@@ -169,12 +184,22 @@ const (
 // Solve optimizes the problem with the bounded-variable two-phase
 // simplex method.
 func Solve(p *Problem) Solution {
-	return SolveWithLimit(p, 20000+50*(p.cols+len(p.rows)))
+	return SolveFrom(p, nil)
+}
+
+// SolveFrom is Solve starting from a warm basis (nil = cold start).
+func SolveFrom(p *Problem, warm *Basis) Solution {
+	return solveFrom(p, 20000+50*(p.cols+len(p.rows)), warm)
 }
 
 // SolveWithLimit is Solve with an explicit pivot budget.
 func SolveWithLimit(p *Problem, maxIters int) Solution {
+	return solveFrom(p, maxIters, nil)
+}
+
+func solveFrom(p *Problem, maxIters int, warm *Basis) Solution {
 	t := newTableau(p)
+	t.install(warm)
 	st, iters1 := t.phase1(maxIters)
 	if st != Optimal {
 		return Solution{Status: st, Iters: iters1}
@@ -185,7 +210,71 @@ func SolveWithLimit(p *Problem, maxIters int) Solution {
 	for j := 0; j < p.cols; j++ {
 		obj += p.obj[j] * x[j]
 	}
-	return Solution{Status: st, X: x, Obj: obj, Iters: iters1 + iters2}
+	return Solution{Status: st, X: x, Obj: obj, Iters: iters1 + iters2, Basis: t.captureBasis()}
+}
+
+// install re-establishes a previous solve's basis on a fresh tableau:
+// nonbasic columns move to their recorded bounds and each row is
+// pivoted onto its recorded basic column (falling back to the row's
+// slack when the recorded column has gone degenerate or is already
+// basic elsewhere). Phase 1 then starts from the warm point and
+// typically finds nothing to repair.
+func (t *tableau) install(warm *Basis) {
+	if warm == nil || len(warm.cols) != t.m || len(warm.atHi) != t.n {
+		return
+	}
+	copy(t.atHi, warm.atHi)
+	for j := 0; j < t.n; j++ {
+		switch {
+		case t.atHi[j] && !math.IsInf(t.hi[j], 0):
+			t.x[j] = t.hi[j]
+		case !math.IsInf(t.lo[j], 0):
+			t.x[j] = t.lo[j]
+			t.atHi[j] = false
+		case !math.IsInf(t.hi[j], 0):
+			t.x[j] = t.hi[j]
+			t.atHi[j] = true
+		default:
+			t.x[j] = 0
+			t.atHi[j] = false
+		}
+	}
+	for i := 0; i < t.m; i++ {
+		col := warm.cols[i]
+		if col < 0 || col >= t.n {
+			col = t.p.cols + i // row's own slack
+		}
+		if t.basis[i] == col {
+			continue
+		}
+		if math.Abs(t.a[i][col]) < pivotEps {
+			col = t.p.cols + i
+			if t.basis[i] == col || math.Abs(t.a[i][col]) < pivotEps {
+				continue
+			}
+		}
+		t.pivot(i, col)
+		t.basis[i] = col
+	}
+}
+
+// captureBasis snapshots the tableau's final basis. Artificial columns
+// (possible only after a degenerate Phase 1) map to the row's slack,
+// and the at-upper flags of basic columns — meaningless while basic —
+// are normalized to false so a later install cannot inherit a stale
+// bound side.
+func (t *tableau) captureBasis() *Basis {
+	b := &Basis{cols: make([]int, t.m), atHi: make([]bool, t.n)}
+	copy(b.atHi, t.atHi[:t.n])
+	for i, j := range t.basis {
+		if j >= t.n {
+			b.cols[i] = -1
+		} else {
+			b.cols[i] = j
+			b.atHi[j] = false
+		}
+	}
+	return b
 }
 
 // tableau is the dense simplex working state. Columns are structural
@@ -321,6 +410,7 @@ func (t *tableau) phase1(maxIters int) (Status, int) {
 		resid := vals[i]
 		if resid < t.lo[old] {
 			t.x[old] = t.lo[old]
+			t.atHi[old] = false
 			resid -= t.lo[old]
 		} else {
 			t.x[old] = t.hi[old]

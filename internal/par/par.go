@@ -1,0 +1,81 @@
+// Package par provides the one concurrency primitive the pipeline
+// fan-outs share: a bounded worker pool over an index range. Keeping
+// it in one place means worker clamping and future fixes (panic
+// propagation, instrumentation) apply to every fan-out at once —
+// matrix compilation, BIPGen block builds and ILP enumeration all
+// call through here.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// For runs fn(i) for i in [0, n) across a bounded worker pool,
+// returning once every call finished. workers <= 0 means GOMAXPROCS;
+// with one worker (or n <= 1) it degrades to a plain loop. Callers
+// must ensure fn(i) writes only state owned by index i.
+func For(n, workers int, fn func(int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForWorker is For with the worker's identity passed to fn — for
+// callers that keep per-worker scratch buffers.
+func ForWorker(n, workers int, fn func(worker, i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(worker, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
