@@ -1,0 +1,92 @@
+// Command cophyd is the online CoPhy advisor daemon. It serves a
+// long-running HTTP API over one advisor: statements stream in through
+// POST /ingest and aggregate into a live, exponentially decayed
+// workload; POST /whatif prices hypothetical configurations from the
+// sharded INUM cache with no global lock; POST /recommend solves the
+// index-selection problem over the live workload, warm-starting each
+// re-solve from the previous session state so small ingestion deltas
+// re-optimize incrementally.
+//
+// Examples:
+//
+//	cophyd -addr 127.0.0.1:8080 -scale 1 -half-life 64
+//	cophyd -addr 127.0.0.1:0          # pick a free port, print it
+//
+// See cmd/cophyd/README.md for the API.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cophy"
+	"repro/internal/engine"
+	"repro/internal/server"
+	"repro/internal/tpch"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address; port 0 picks a free port")
+	scale := flag.Float64("scale", 1.0, "TPC-H scale factor of the served catalog")
+	skew := flag.Float64("skew", 0, "data skew z (0 = uniform, 2 = highly skewed)")
+	system := flag.String("system", "A", "cost-model profile: A or B")
+	gap := flag.Float64("gap", 0.05, "solver optimality-gap tolerance")
+	rootIters := flag.Int("root-iters", 160, "subgradient iteration cap at the root")
+	maxNodes := flag.Int("max-nodes", 32, "branch-and-bound node cap")
+	halfLife := flag.Float64("half-life", 64, "ingestion decay half-life in batches (negative disables decay)")
+	minWeight := flag.Float64("min-weight", 1e-3, "eviction threshold for decayed statements")
+	flag.Parse()
+
+	prof := engine.SystemA()
+	if *system == "B" || *system == "b" {
+		prof = engine.SystemB()
+	}
+	cat := tpch.Build(tpch.Config{ScaleFactor: *scale, Skew: *skew})
+	eng := engine.New(cat, prof)
+
+	d, err := server.New(server.Config{
+		Catalog:   cat,
+		Engine:    eng,
+		Advisor:   cophy.Options{GapTol: *gap, RootIters: *rootIters, MaxNodes: *maxNodes},
+		HalfLife:  *halfLife,
+		MinWeight: *minWeight,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	// The listening line is part of the interface: wrappers (the CI
+	// smoke test, scripts) parse the port from it.
+	fmt.Printf("cophyd listening on %s\n", ln.Addr())
+
+	srv := &http.Server{Handler: d.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			fmt.Fprintln(os.Stderr, "serve error:", err)
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("cophyd shutting down")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_ = srv.Shutdown(ctx)
+	<-done
+}

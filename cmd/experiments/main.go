@@ -8,6 +8,25 @@
 // (250/500/1000 statements); smaller scales run proportionally lighter
 // instances with the same structure. Output is one aligned text table
 // per experiment, with the paper's expected values quoted in notes.
+//
+// # Benchmark artifacts (-bench-json)
+//
+// `experiments -bench-json DIR` runs the substrate micro-benchmarks
+// and writes BENCH_inum.json / BENCH_solver.json into DIR: one entry
+// per benchmark with ns/op, allocations and the run's GOMAXPROCS.
+// The intended CI trajectory, once a baseline artifact store exists
+// (ROADMAP item):
+//
+//  1. CI downloads the previous main-branch BENCH_*.json as the
+//     baseline (e.g. from the artifact store of the last green run).
+//  2. It re-runs `-bench-json` on the PR head — same machine class,
+//     pinned -benchtime — and compares per-benchmark ns/op.
+//  3. Regressions beyond a noise gate (suggested: >15% on any entry,
+//     or >5% on three or more) fail the job with a per-benchmark
+//     delta table; improvements update the stored baseline on merge.
+//
+// Until the store exists the files are uploaded as plain build
+// artifacts, so history can be reconstructed retroactively.
 package main
 
 import (

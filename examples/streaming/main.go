@@ -1,0 +1,105 @@
+// Streaming tuning with the online advisor daemon: statements arrive
+// incrementally, the live workload evolves under exponential decay,
+// and each recommendation re-solves warm from the previous session.
+// When the workload mix shifts — here from an orders/lineitem
+// date-range mix to a customer/segment mix — the decayed weights of
+// the old mix lose their grip and the chosen indexes follow the
+// traffic.
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cophy"
+	"repro/internal/engine"
+	"repro/internal/server"
+	"repro/internal/tpch"
+)
+
+// mixA is date-range reporting traffic over orders × lineitem.
+const mixA = `
+SELECT l_extendedprice, l_discount FROM lineitem WHERE l_shipdate BETWEEN :0.2 AND :0.3 WEIGHT 6;
+SELECT o_orderdate, SUM(l_extendedprice) FROM orders, lineitem WHERE l_orderkey = o_orderkey AND o_orderdate < :0.4 GROUP BY o_orderdate WEIGHT 4;
+SELECT o_totalprice FROM orders WHERE o_orderdate BETWEEN :0.5 AND :0.6 WEIGHT 3;
+`
+
+// mixB is customer-segment lookup traffic.
+const mixB = `
+SELECT c_name, c_acctbal FROM customer WHERE c_mktsegment = :0.3 WEIGHT 6;
+SELECT c_custkey, o_totalprice FROM customer, orders WHERE o_custkey = c_custkey AND c_mktsegment = :0.7 WEIGHT 5;
+SELECT c_acctbal FROM customer WHERE c_nationkey = :0.2 WEIGHT 3;
+`
+
+func main() {
+	cat := tpch.Build(tpch.Config{ScaleFactor: 0.1})
+	eng := engine.New(cat, engine.SystemA())
+	d, err := server.New(server.Config{
+		Catalog: cat,
+		Engine:  eng,
+		Advisor: cophy.Options{GapTol: 0.05, RootIters: 160, MaxNodes: 16},
+		// Short half-life so the mix shift shows within a few batches.
+		HalfLife: 3,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	recommend := func(phase string) server.RecommendResult {
+		res, err := d.Recommend(server.RecommendOptions{BudgetFraction: 0.5})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%s: %d live statements → %d indexes (est cost %.0f, gap %.1f%%, %d iters, warm=%v)\n",
+			phase, res.WorkloadSize, len(res.Indexes), res.EstCost, res.Gap*100, res.Iters, res.Warm)
+		for _, sp := range res.Indexes {
+			fmt.Printf("    %s(%s)%s\n", sp.Table, strings.Join(sp.Key, ","), includeSuffix(sp))
+		}
+		return res
+	}
+
+	// Phase 1: the reporting mix dominates.
+	for i := 0; i < 3; i++ {
+		if _, err := d.Ingest(mixA, 1); err != nil {
+			panic(err)
+		}
+	}
+	first := recommend("phase 1 (reporting mix)")
+
+	// Phase 2: traffic shifts to customer lookups; the old mix decays
+	// (half-life 3 batches) while the new one accumulates.
+	for i := 0; i < 8; i++ {
+		if _, err := d.Ingest(mixB, 1); err != nil {
+			panic(err)
+		}
+	}
+	second := recommend("phase 2 (segment mix)")
+
+	fmt.Printf("\nrecommendation drift: %d dropped, %d added\n",
+		len(diff(first.Indexes, second.Indexes)), len(diff(second.Indexes, first.Indexes)))
+}
+
+func includeSuffix(sp server.IndexSpec) string {
+	if len(sp.Include) == 0 {
+		return ""
+	}
+	return " INCLUDE(" + strings.Join(sp.Include, ",") + ")"
+}
+
+// diff returns the specs of a not present in b (by table+key+include).
+func diff(a, b []server.IndexSpec) []server.IndexSpec {
+	key := func(sp server.IndexSpec) string {
+		return sp.Table + "|" + strings.Join(sp.Key, ",") + "|" + strings.Join(sp.Include, ",")
+	}
+	have := map[string]bool{}
+	for _, sp := range b {
+		have[key(sp)] = true
+	}
+	var out []server.IndexSpec
+	for _, sp := range a {
+		if !have[key(sp)] {
+			out = append(out, sp)
+		}
+	}
+	return out
+}

@@ -1,6 +1,7 @@
 package cophy
 
 import (
+	"math"
 	"time"
 
 	"repro/internal/catalog"
@@ -56,6 +57,11 @@ type Result struct {
 	Lower float64
 	// Gap is the relative optimality gap at termination.
 	Gap float64
+	// Iters counts the solver's subgradient iterations — the warm-start
+	// savings of an incremental re-solve show up here.
+	Iters int
+	// Nodes counts branch-and-bound nodes beyond the root.
+	Nodes int
 	// Times is the INUM/build/solve breakdown of Figures 5 and 10.
 	Times Timings
 	// Trace holds the solver's bound events over time (Figure 6a).
@@ -152,6 +158,8 @@ func (ad *Advisor) solveWith(inst *Instance, model *lagrange.Model, warm *lagran
 		EstCost:  lr.Objective,
 		Lower:    lr.Lower,
 		Gap:      lr.Gap,
+		Iters:    lr.Iters,
+		Nodes:    lr.Nodes,
 		Trace:    trace,
 		Lambda:   lr.Lambda,
 	}
@@ -222,6 +230,23 @@ func (se *Session) AddCandidates(delta []*catalog.Index) {
 // solve.
 func (se *Session) SetConstraints(cons Constraints) { se.cons = cons }
 
+// SetWorkload replaces the session's workload for the next solve — the
+// streaming-ingestion delta path. Statements keep their IDs across
+// snapshots, so the blocks of the next model carry the same labels and
+// the previous multipliers warm every surviving statement; statements
+// that appeared or changed weight are repriced, not cold-started.
+// Candidate positions are managed by AddCandidates (append-only), so
+// the previous incumbent remains a valid MIP start.
+func (se *Session) SetWorkload(w *workload.Workload) { se.w = w }
+
+// Workload returns the session's current workload.
+func (se *Session) Workload() *workload.Workload { return se.w }
+
+// Warm reports whether the next Solve will reuse previous session
+// state (incumbent MIP start and dual warm start). Infeasible results
+// are not retained, so a failed solve leaves the session cold.
+func (se *Session) Warm() bool { return se.last != nil }
+
 // Solve computes (or recomputes) the recommendation. The first call
 // pays INUM preparation and a cold solve; later calls are warm.
 func (se *Session) Solve() (*Result, error) {
@@ -252,9 +277,13 @@ func (se *Session) Solve() (*Result, error) {
 		// Stop once the revision is as tight as the solution the DBA
 		// already accepted: with the repriced warm duals this is
 		// usually reached almost immediately, the computation-reuse
-		// effect of Figure 6(b).
+		// effect of Figure 6(b). Clamped at 2× the advisor tolerance:
+		// the achieved gap tends to land just under the tolerance, so
+		// without a cap a long-lived session (the streaming daemon
+		// re-solves after every delta) would compound the ratchet ~2%
+		// per solve and degrade without bound.
 		if g := se.last.Gap * 1.02; g > gapTol {
-			gapTol = g
+			gapTol = math.Min(g, 2*ad.Opts.GapTol)
 		}
 	}
 	res, solveTime := ad.solveWith(inst, model, warm, start, gapTol)

@@ -114,7 +114,7 @@ func BuildModel(inst *Instance) (*lagrange.Model, error) {
 
 // buildBlock emits one query's choice block from its dense γ slab.
 func buildBlock(weight float64, queryID string, qm *inum.QueryMatrix) (lagrange.Block, error) {
-	blk := lagrange.Block{Weight: weight}
+	blk := lagrange.Block{ID: queryID, Weight: weight}
 	for ti := 0; ti < len(qm.Internal); ti++ {
 		ch := lagrange.Choice{Fixed: qm.Internal[ti]}
 		feasible := true
@@ -177,7 +177,7 @@ func buildModelSerial(inst *Instance) (*lagrange.Model, error) {
 		if len(qi.Templates) == 0 {
 			return nil, fmt.Errorf("cophy: no templates for %s", q.ID)
 		}
-		blk := lagrange.Block{Weight: s.Weight}
+		blk := lagrange.Block{ID: q.ID, Weight: s.Weight}
 		for ti, tpl := range qi.Templates {
 			ch := lagrange.Choice{Fixed: tpl.Internal}
 			feasible := true

@@ -97,16 +97,19 @@ type gammaKey struct {
 }
 
 // Cache is the INUM layer over one engine. It is safe for concurrent
-// use after Prepare.
+// use: the query map is striped into shards keyed by a hash of the
+// query ID, so concurrent PrepareQuery/Info calls on different queries
+// do not serialize on one lock.
 type Cache struct {
 	Eng *engine.Engine
 
-	mu      sync.Mutex
-	queries map[string]*QueryInfo
+	shards []cacheShard
 
+	// statMu guards the prep counters below.
+	statMu sync.Mutex
 	// PrepCalls counts the what-if optimizations spent preparing
 	// template plans (the "INUM time" component of the paper's
-	// breakdowns).
+	// breakdowns). Read it only after concurrent preparation settles.
 	PrepCalls int64
 	// PrepDuration is the wall time spent in Prepare.
 	PrepDuration time.Duration
@@ -118,14 +121,76 @@ type Cache struct {
 	MaxCombos int
 }
 
+// cacheShard is one stripe of the query map: mutex (8) + map header
+// (8) + pad = 64 bytes, so neighboring stripes never share a cache
+// line.
+type cacheShard struct {
+	mu      sync.Mutex
+	queries map[string]*QueryInfo
+	_       [48]byte
+}
+
+// defaultShards is the stripe count: comfortably above typical core
+// counts so cache-hit lookups under a parallel what-if load rarely
+// collide. Must be a power of two.
+const defaultShards = 64
+
 // New returns an empty INUM cache over the engine.
 func New(eng *engine.Engine) *Cache {
-	return &Cache{
+	return newWithShards(eng, defaultShards)
+}
+
+// newWithShards builds a cache with an explicit stripe count (a power
+// of two). The single-stripe form is the pre-sharding cache, retained
+// so BenchmarkCachePrepareParallel can measure what the striping buys.
+func newWithShards(eng *engine.Engine, n int) *Cache {
+	if n <= 0 || n&(n-1) != 0 {
+		panic("inum: shard count must be a positive power of two")
+	}
+	c := &Cache{
 		Eng:          eng,
-		queries:      make(map[string]*QueryInfo),
+		shards:       make([]cacheShard, n),
 		MaxTemplates: 10,
 		MaxCombos:    48,
 	}
+	for i := range c.shards {
+		c.shards[i].queries = make(map[string]*QueryInfo)
+	}
+	return c
+}
+
+// PrepStats returns the prep counters under their lock — the safe way
+// to read them while preparation may still be running elsewhere.
+func (c *Cache) PrepStats() (calls int64, dur time.Duration) {
+	c.statMu.Lock()
+	defer c.statMu.Unlock()
+	return c.PrepCalls, c.PrepDuration
+}
+
+// Prepared returns the number of cached queries across all shards.
+func (c *Cache) Prepared() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.queries)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// shard returns the stripe owning the query ID (FNV-1a hash).
+func (c *Cache) shard(id string) *cacheShard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= prime64
+	}
+	return &c.shards[h&uint64(len(c.shards)-1)]
 }
 
 // Prepare populates the cache for every query of the workload
@@ -146,37 +211,39 @@ func (c *Cache) Prepare(w *workload.Workload) {
 		}()
 	}
 	wg.Wait()
-	c.mu.Lock()
+	c.statMu.Lock()
 	c.PrepDuration += time.Since(start)
-	c.mu.Unlock()
+	c.statMu.Unlock()
 }
 
 // PrepareQuery builds (or returns) the template plans for one query.
 func (c *Cache) PrepareQuery(q *workload.Query) *QueryInfo {
-	c.mu.Lock()
-	if qi, ok := c.queries[q.ID]; ok {
-		c.mu.Unlock()
+	sh := c.shard(q.ID)
+	sh.mu.Lock()
+	if qi, ok := sh.queries[q.ID]; ok {
+		sh.mu.Unlock()
 		return qi
 	}
-	c.mu.Unlock()
+	sh.mu.Unlock()
 
 	qi := c.buildTemplates(q)
 
-	c.mu.Lock()
-	if prior, ok := c.queries[q.ID]; ok {
-		c.mu.Unlock()
+	sh.mu.Lock()
+	if prior, ok := sh.queries[q.ID]; ok {
+		sh.mu.Unlock()
 		return prior
 	}
-	c.queries[q.ID] = qi
-	c.mu.Unlock()
+	sh.queries[q.ID] = qi
+	sh.mu.Unlock()
 	return qi
 }
 
 // Info returns the cache entry for a prepared query, or nil.
 func (c *Cache) Info(q *workload.Query) *QueryInfo {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.queries[q.ID]
+	sh := c.shard(q.ID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.queries[q.ID]
 }
 
 // interestingOrders returns the per-table candidate orders of a query:
@@ -307,9 +374,9 @@ func (c *Cache) buildTemplates(q *workload.Query) *QueryInfo {
 
 	qi.prune(c.MaxTemplates)
 
-	c.mu.Lock()
+	c.statMu.Lock()
 	c.PrepCalls += calls
-	c.mu.Unlock()
+	c.statMu.Unlock()
 	return qi
 }
 

@@ -1,0 +1,137 @@
+package inum
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/tpch"
+	"repro/internal/workload"
+)
+
+// TestShardedCacheMatchesSingleShard pins the striped map to the
+// single-mutex reference: same entries, same costs, same prep
+// accounting, regardless of stripe count.
+func TestShardedCacheMatchesSingleShard(t *testing.T) {
+	cat := tpch.Build(tpch.Config{ScaleFactor: 0.05})
+	eng := engine.New(cat, engine.SystemA())
+	w := workload.Hom(workload.HomConfig{Queries: 20, Seed: 31})
+	cfg := engine.NewConfig(tpch.BaselineIndexes(cat)...)
+
+	one := newWithShards(eng, 1)
+	many := newWithShards(eng, 64)
+	one.Prepare(w)
+	many.Prepare(w)
+	if one.PrepCalls != many.PrepCalls {
+		t.Fatalf("prep calls differ: %d vs %d", one.PrepCalls, many.PrepCalls)
+	}
+	for _, s := range w.Queries() {
+		a, b := one.Info(s.Query), many.Info(s.Query)
+		if a == nil || b == nil {
+			t.Fatalf("%s missing from a cache (%v, %v)", s.Query.ID, a != nil, b != nil)
+		}
+		if len(a.Templates) != len(b.Templates) {
+			t.Fatalf("%s template counts differ: %d vs %d", s.Query.ID, len(a.Templates), len(b.Templates))
+		}
+		ca, err1 := one.Cost(s.Query, cfg)
+		cb, err2 := many.Cost(s.Query, cfg)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%s cost errors: %v / %v", s.Query.ID, err1, err2)
+		}
+		if ca != cb {
+			t.Fatalf("%s costs differ: %v vs %v", s.Query.ID, ca, cb)
+		}
+	}
+}
+
+// TestConcurrentPrepareQueryStress hammers PrepareQuery, Info, Cost and
+// Gamma from many goroutines over an overlapping query set; run under
+// -race it checks the shard discipline. Every caller must observe the
+// same QueryInfo pointer for a given query (duplicate builds may race,
+// but exactly one wins the insert).
+func TestConcurrentPrepareQueryStress(t *testing.T) {
+	cat := tpch.Build(tpch.Config{ScaleFactor: 0.02})
+	eng := engine.New(cat, engine.SystemA())
+	w := workload.Hom(workload.HomConfig{Queries: 24, Seed: 32})
+	cfg := engine.NewConfig(tpch.BaselineIndexes(cat)...)
+	cache := New(eng)
+	stmts := w.Queries()
+
+	workers := 4 * runtime.GOMAXPROCS(0)
+	rounds := 8
+	got := make([][]*QueryInfo, workers)
+	var wg sync.WaitGroup
+	for wi := 0; wi < workers; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			got[wi] = make([]*QueryInfo, len(stmts))
+			for r := 0; r < rounds; r++ {
+				for si, s := range stmts {
+					// Stagger the start so goroutines collide on
+					// different shards each round.
+					s = stmts[(si+wi)%len(stmts)]
+					qi := cache.PrepareQuery(s.Query)
+					if qi == nil || len(qi.Templates) == 0 {
+						t.Errorf("%s: empty QueryInfo", s.Query.ID)
+						return
+					}
+					got[wi][(si+wi)%len(stmts)] = qi
+					if info := cache.Info(s.Query); info != qi {
+						t.Errorf("%s: Info returned a different entry", s.Query.ID)
+						return
+					}
+					if _, err := cache.Cost(s.Query, cfg); err != nil {
+						t.Errorf("%s: cost: %v", s.Query.ID, err)
+						return
+					}
+				}
+			}
+		}(wi)
+	}
+	wg.Wait()
+	for wi := 1; wi < workers; wi++ {
+		for si := range stmts {
+			if got[wi][si] != got[0][si] {
+				t.Fatalf("query %d: workers observed distinct QueryInfo pointers", si)
+			}
+		}
+	}
+}
+
+// BenchmarkCachePrepareParallel measures the cache-hit PrepareQuery
+// path under parallel load — the hot path of concurrent /whatif
+// requests. The shards=1 variant is the pre-sharding single-mutex
+// cache; the speedup of shards=64 over it is what the striping buys.
+func BenchmarkCachePrepareParallel(b *testing.B) {
+	cat := tpch.Build(tpch.Config{ScaleFactor: 0.02})
+	eng := engine.New(cat, engine.SystemA())
+	w := workload.Hom(workload.HomConfig{Queries: 48, Seed: 33})
+	stmts := w.Queries()
+
+	for _, shards := range []int{1, 64} {
+		name := "shards=1"
+		if shards != 1 {
+			name = "shards=64"
+		}
+		b.Run(name, func(b *testing.B) {
+			cache := newWithShards(eng, shards)
+			cache.Prepare(w)
+			// Several goroutines per core: the single-mutex variant
+			// degrades through slow-path wakeups even on few cores.
+			b.SetParallelism(4)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					q := stmts[i%len(stmts)].Query
+					if qi := cache.PrepareQuery(q); qi == nil {
+						b.Fatal("nil QueryInfo")
+					}
+					i++
+				}
+			})
+		})
+	}
+}

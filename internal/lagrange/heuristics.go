@@ -122,9 +122,38 @@ func (s *solver) tryCandidate(sel []bool) {
 // localSearchBudget caps exact evaluations per local-search call.
 const localSearchBudget = 24
 
-// localSearch runs bounded add/drop passes around the incumbent.
+// localSearch runs bounded add/drop passes around the incumbent. Every
+// trial differs from the incumbent in one index, so it is priced with
+// the incremental one-flip evaluator over the per-index
+// block-incidence lists rather than a full objective pass.
 func (s *solver) localSearch() {
 	m := s.m
+	st, stOK := s.newIncState(s.bestSel)
+	if !stOK {
+		return // incumbent not evaluable; nothing to search around
+	}
+	// tryFlip probes flipping index a: feasibility over the z polytope
+	// first (cheap, needs the flipped selection in place), then the
+	// incremental objective. On accept it commits and promotes.
+	// evaluated reports whether the objective was actually priced —
+	// infeasible flips do not count against the evaluation budget.
+	tryFlip := func(a int) (accepted, evaluated bool) {
+		st.sel[a] = !st.sel[a]
+		feasible, _ := m.SelectionFeasible(st.sel)
+		st.sel[a] = !st.sel[a]
+		if !feasible {
+			return false, false
+		}
+		obj, ok := s.flipObjective(st, a)
+		if !ok || obj >= s.bestObj-1e-9 {
+			return false, true
+		}
+		s.commitFlip(st, a)
+		s.bestObj = st.total
+		s.bestSel = append([]bool(nil), st.sel...)
+		s.emit()
+		return true, true
+	}
 	evals := 0
 	improved := true
 	for improved && evals < localSearchBudget {
@@ -132,7 +161,7 @@ func (s *solver) localSearch() {
 
 		// Drop pass: least valuable selected first.
 		var selected []int
-		for a, on := range s.bestSel {
+		for a, on := range st.sel {
 			if on && !s.fixedIn[a] {
 				selected = append(selected, a)
 			}
@@ -142,25 +171,19 @@ func (s *solver) localSearch() {
 			if evals >= localSearchBudget {
 				return
 			}
-			trial := append([]bool(nil), s.bestSel...)
-			trial[a] = false
-			if ok, _ := m.SelectionFeasible(trial); !ok {
-				continue
+			accepted, evaluated := tryFlip(a)
+			if evaluated {
+				evals++
 			}
-			obj, ok := s.evaluate(trial)
-			evals++
-			if ok && obj < s.bestObj-1e-9 {
-				s.bestObj = obj
-				s.bestSel = trial
+			if accepted {
 				improved = true
-				s.emit()
 				break
 			}
 		}
 
 		// Add pass: most attractive unselected first.
 		var unselected []int
-		for a, on := range s.bestSel {
+		for a, on := range st.sel {
 			if !on && !s.fixedOut[a] && s.score(a) > 0 {
 				unselected = append(unselected, a)
 			}
@@ -173,18 +196,12 @@ func (s *solver) localSearch() {
 			if evals >= localSearchBudget {
 				return
 			}
-			trial := append([]bool(nil), s.bestSel...)
-			trial[a] = true
-			if ok, _ := m.SelectionFeasible(trial); !ok {
-				continue
+			accepted, evaluated := tryFlip(a)
+			if evaluated {
+				evals++
 			}
-			obj, ok := s.evaluate(trial)
-			evals++
-			if ok && obj < s.bestObj-1e-9 {
-				s.bestObj = obj
-				s.bestSel = trial
+			if accepted {
 				improved = true
-				s.emit()
 				break
 			}
 		}
@@ -195,23 +212,33 @@ func (s *solver) localSearch() {
 // indexes whose removal does not increase the objective (redundant
 // twins, subsumed covers). Local search only accepts strict
 // improvements, so zero-benefit redundancy survives it; this pass
-// trades it away for free storage.
+// trades it away for free storage. Each candidate drop is a one-flip
+// trial priced through the block-incidence lists.
 func (s *solver) dropRedundant() {
 	if s.bestSel == nil {
 		return
 	}
-	for a := range s.bestSel {
-		if !s.bestSel[a] {
-			continue
-		}
-		s.bestSel[a] = false
-		obj, ok := s.evaluate(s.bestSel)
-		if feas, _ := s.m.SelectionFeasible(s.bestSel); ok && feas && obj <= s.bestObj*(1+1e-12) {
-			s.bestObj = obj
-			continue
-		}
-		s.bestSel[a] = true
+	st, ok := s.newIncState(s.bestSel)
+	if !ok {
+		return
 	}
+	for a := range st.sel {
+		if !st.sel[a] {
+			continue
+		}
+		st.sel[a] = false
+		feas, _ := s.m.SelectionFeasible(st.sel)
+		st.sel[a] = true
+		if !feas {
+			continue
+		}
+		obj, evalOK := s.flipObjective(st, a)
+		if evalOK && obj <= s.bestObj*(1+1e-12) {
+			s.commitFlip(st, a)
+			s.bestObj = st.total
+		}
+	}
+	s.bestSel = append([]bool(nil), st.sel...)
 }
 
 // branch runs depth-first branch and bound, re-bounding each node

@@ -57,6 +57,12 @@ type Choice struct {
 // choice whose slots all admit the NoIndex option (or have zero
 // slots), so the empty configuration stays feasible.
 type Block struct {
+	// ID optionally labels the block with a stable statement identity.
+	// Labeled blocks let dual warm starts (Multipliers) follow a
+	// statement across workload deltas: a later solve matches donor
+	// blocks by ID instead of position, so appending, dropping or
+	// re-weighting statements no longer forfeits the warm start.
+	ID string
 	// Weight is the statement weight f_q.
 	Weight float64
 	// Choices are the mutually exclusive evaluation strategies.

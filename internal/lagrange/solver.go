@@ -39,8 +39,14 @@ type Event struct {
 // whose linking constraints the relax(B) step moves into the
 // objective. Sites are keyed by (choice, slot, index) so warm starts
 // survive appended candidates (interactive tuning adds options without
-// renumbering existing ones).
+// renumbering existing ones). When the model labels its blocks
+// (Block.ID), the per-block multiplier vectors additionally carry
+// those labels, and a later solve matches blocks by label rather than
+// position — warm starts then survive workload deltas (statements
+// appended, removed or re-weighted), the incremental re-optimization
+// the streaming advisor relies on.
 type Multipliers struct {
+	ids  []string // block labels at export time ("" for unlabeled)
 	keys [][]siteKey
 	vals [][]float64
 }
@@ -133,6 +139,12 @@ type solver struct {
 	// attract[a] = Σ_sites w_b·λ_site over sites using index a,
 	// maintained incrementally.
 	attract []float64
+
+	// incidence[a] lists the blocks (ascending, deduplicated) with at
+	// least one option using index a. One-flip incumbent trials in the
+	// local search re-evaluate only these blocks: a flip of a cannot
+	// change the primal value of any block that never references a.
+	incidence [][]int32
 
 	// workers is the block-dual pool size; blockVal and blockUses are
 	// the per-iteration result arrays (indexed by block, written by
@@ -331,6 +343,24 @@ func (s *solver) compile() {
 		s.keys[bi] = keys
 		s.lam[bi] = make([]float64, len(groupIdx))
 	}
+
+	// Per-index block-incidence lists, deduplicated with a last-seen
+	// stamp per index.
+	s.incidence = make([][]int32, m.NumIndexes)
+	stamp := make([]int32, m.NumIndexes)
+	for a := range stamp {
+		stamp[a] = -1
+	}
+	for bi := range m.Blocks {
+		for oi := f.blockOpt[bi]; oi < f.blockOpt[bi+1]; oi++ {
+			idx := f.optIdx[oi]
+			if idx == NoIndex || stamp[idx] == int32(bi) {
+				continue
+			}
+			stamp[idx] = int32(bi)
+			s.incidence[idx] = append(s.incidence[idx], int32(bi))
+		}
+	}
 }
 
 // applyWarm copies multipliers from a previous solve, matching groups
@@ -341,22 +371,47 @@ func (s *solver) compile() {
 // multipliers would collapse the block duals and squander the warm
 // start — with it, the first iteration's bound matches the previous
 // solve's, which is precisely the computation reuse behind Figure 6(b).
+//
+// Blocks are paired with their donors by label when the exporting
+// model carried Block.IDs (so a workload delta — statements appended,
+// dropped or re-weighted — still warms every surviving block), and
+// positionally otherwise, which requires an unchanged block count.
+// Blocks without a donor are repriced wholesale: their index options
+// are lifted just enough not to undercut the free access, the neutral
+// dual price for a statement the previous solve never saw.
 func (s *solver) applyWarm(w *Multipliers) {
-	if len(w.keys) != len(s.keys) {
-		return // block structure changed; cold start
+	byLabel := w.ids != nil
+	if !byLabel && len(w.keys) != len(s.keys) {
+		return // unlabeled export and block structure changed; cold start
+	}
+	oldByID := make(map[string]int, len(w.ids))
+	for i, id := range w.ids {
+		if id != "" {
+			oldByID[id] = i
+		}
 	}
 	for bi := range s.keys {
-		wt := s.m.Blocks[bi].Weight
-		old := make(map[siteKey]float64, len(w.keys[bi]))
-		for k, key := range w.keys[bi] {
-			old[key] = w.vals[bi][k]
+		oi := -1
+		if id := s.m.Blocks[bi].ID; byLabel && id != "" {
+			if j, ok := oldByID[id]; ok {
+				oi = j
+			}
+		} else if len(w.keys) == len(s.keys) {
+			oi = bi
 		}
 		matched := make([]bool, len(s.keys[bi]))
-		for k, key := range s.keys[bi] {
-			if v, ok := old[key]; ok && key.index != NoIndex && int(key.index) < s.m.NumIndexes {
-				s.lam[bi][k] = v
-				s.attract[key.index] += wt * v
-				matched[k] = true
+		if oi >= 0 {
+			wt := s.m.Blocks[bi].Weight
+			old := make(map[siteKey]float64, len(w.keys[oi]))
+			for k, key := range w.keys[oi] {
+				old[key] = w.vals[oi][k]
+			}
+			for k, key := range s.keys[bi] {
+				if v, ok := old[key]; ok && key.index != NoIndex && int(key.index) < s.m.NumIndexes {
+					s.lam[bi][k] = v
+					s.attract[key.index] += wt * v
+					matched[k] = true
+				}
 			}
 		}
 		s.repriceNew(bi, matched)
@@ -419,12 +474,25 @@ func (s *solver) repriceNew(bi int, matched []bool) {
 	}
 }
 
-// exportLambda snapshots the dual state.
+// exportLambda snapshots the dual state, carrying the blocks' labels
+// so a structurally different later model can still adopt it.
 func (s *solver) exportLambda() *Multipliers {
-	w := &Multipliers{keys: make([][]siteKey, len(s.keys)), vals: make([][]float64, len(s.keys))}
+	w := &Multipliers{
+		ids:  make([]string, len(s.keys)),
+		keys: make([][]siteKey, len(s.keys)),
+		vals: make([][]float64, len(s.keys)),
+	}
+	labeled := false
 	for bi := range s.keys {
+		w.ids[bi] = s.m.Blocks[bi].ID
+		if w.ids[bi] != "" {
+			labeled = true
+		}
 		w.keys[bi] = append([]siteKey(nil), s.keys[bi]...)
 		w.vals[bi] = append([]float64(nil), s.lam[bi]...)
+	}
+	if !labeled {
+		w.ids = nil // unlabeled model: positional matching only
 	}
 	return w
 }
@@ -529,7 +597,6 @@ func (s *solver) blockDual(bi int, sc *blockScratch) float64 {
 // iteration order keeps it bit-equal to the reference method.
 func (s *solver) evaluate(selected []bool) (float64, bool) {
 	m := s.m
-	f := &s.flat
 	total := m.Const
 	for a, sel := range selected {
 		if sel {
@@ -537,31 +604,8 @@ func (s *solver) evaluate(selected []bool) (float64, bool) {
 		}
 	}
 	for bi := range m.Blocks {
-		best := math.Inf(1)
-		for ci := f.blockChoice[bi]; ci < f.blockChoice[bi+1]; ci++ {
-			v := f.choiceFixed[ci]
-			ok := true
-			for si := f.choiceSlot[ci]; si < f.choiceSlot[ci+1]; si++ {
-				slotBest := math.Inf(1)
-				for oi := f.slotOpt[si]; oi < f.slotOpt[si+1]; oi++ {
-					if idx := f.optIdx[oi]; idx != NoIndex && !selected[idx] {
-						continue
-					}
-					if c := f.optCost[oi]; c < slotBest {
-						slotBest = c
-					}
-				}
-				if math.IsInf(slotBest, 1) {
-					ok = false
-					break
-				}
-				v += slotBest
-			}
-			if ok && v < best {
-				best = v
-			}
-		}
-		if math.IsInf(best, 1) {
+		best, ok := s.blockPrimalFlat(bi, selected)
+		if !ok {
 			return 0, false
 		}
 		if cap := m.Blocks[bi].CostCap; cap > 0 && best > cap*(1+1e-9) {
@@ -570,6 +614,41 @@ func (s *solver) evaluate(selected []bool) (float64, bool) {
 		total += m.Blocks[bi].Weight * best
 	}
 	return total, true
+}
+
+// blockPrimalFlat is blockPrimal over the flat layout: the minimum
+// choice cost of block bi when only the selected indexes are
+// available. false when no choice is evaluable.
+func (s *solver) blockPrimalFlat(bi int, selected []bool) (float64, bool) {
+	f := &s.flat
+	best := math.Inf(1)
+	for ci := f.blockChoice[bi]; ci < f.blockChoice[bi+1]; ci++ {
+		v := f.choiceFixed[ci]
+		ok := true
+		for si := f.choiceSlot[ci]; si < f.choiceSlot[ci+1]; si++ {
+			slotBest := math.Inf(1)
+			for oi := f.slotOpt[si]; oi < f.slotOpt[si+1]; oi++ {
+				if idx := f.optIdx[oi]; idx != NoIndex && !selected[idx] {
+					continue
+				}
+				if c := f.optCost[oi]; c < slotBest {
+					slotBest = c
+				}
+			}
+			if math.IsInf(slotBest, 1) {
+				ok = false
+				break
+			}
+			v += slotBest
+		}
+		if ok && v < best {
+			best = v
+		}
+	}
+	if math.IsInf(best, 1) {
+		return 0, false
+	}
+	return best, true
 }
 
 // evalBlocks computes every block dual of the current iteration into

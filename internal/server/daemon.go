@@ -1,0 +1,309 @@
+// Package server implements cophyd, the online advisor daemon: a
+// long-running, concurrent service over one CoPhy advisor. Statements
+// arrive as a stream and are folded into a live workload with
+// exponential decay (workload.Stream); what-if costings are answered
+// straight from the sharded INUM cache with no global lock; and
+// recommendations run through one persistent cophy.Session whose
+// block-labeled dual warm starts make each re-solve after a small
+// ingestion delta incremental rather than from-scratch — the
+// interactive-tuning economics of §4.2 turned into a service.
+package server
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/catalog"
+	"repro/internal/cophy"
+	"repro/internal/engine"
+	"repro/internal/tpch"
+	"repro/internal/workload"
+)
+
+// Config assembles a daemon.
+type Config struct {
+	// Catalog and Engine are the tuned system. Both are treated as
+	// immutable for the daemon's lifetime.
+	Catalog *catalog.Catalog
+	Engine  *engine.Engine
+	// Advisor tunes the solver (gap tolerance, iteration caps).
+	Advisor cophy.Options
+	// CGen tunes candidate generation for recommendations.
+	CGen cophy.CGenOptions
+	// HalfLife is the ingestion decay half-life, measured in ingest
+	// batches (each /ingest call ticks the decay clock once). Zero
+	// means 64 batches; negative disables decay.
+	HalfLife float64
+	// MinWeight is the eviction threshold for decayed statements
+	// (default 1e-3).
+	MinWeight float64
+}
+
+// Daemon is the service core. All exported methods are safe for
+// concurrent use: WhatIf runs lock-free over the sharded INUM cache,
+// Ingest serializes only on the stream's own mutex, and Recommend
+// serializes recommendations on the session mutex.
+type Daemon struct {
+	cat      *catalog.Catalog
+	eng      *engine.Engine
+	ad       *cophy.Advisor
+	cgen     cophy.CGenOptions
+	stream   *workload.Stream
+	baseline *engine.Config
+
+	// mu guards the session.
+	mu      sync.Mutex
+	session *cophy.Session
+
+	ingested   atomic.Int64
+	whatifs    atomic.Int64
+	recommends atomic.Int64
+}
+
+// New builds a daemon over the given system.
+func New(cfg Config) (*Daemon, error) {
+	if cfg.Catalog == nil || cfg.Engine == nil {
+		return nil, fmt.Errorf("server: Catalog and Engine are required")
+	}
+	halfLife := cfg.HalfLife
+	if halfLife == 0 {
+		halfLife = 64
+	}
+	if halfLife < 0 {
+		halfLife = 0 // no decay
+	}
+	if cfg.CGen.MaxKeyCols == 0 && !cfg.CGen.Covering && cfg.CGen.DBA == nil {
+		cfg.CGen = cophy.CGenOptions{Covering: true} // untuned: defaults
+	}
+	d := &Daemon{
+		cat:      cfg.Catalog,
+		eng:      cfg.Engine,
+		ad:       cophy.NewAdvisor(cfg.Catalog, cfg.Engine, cfg.Advisor),
+		cgen:     cfg.CGen,
+		stream:   workload.NewStream(workload.StreamConfig{HalfLife: halfLife, MinWeight: cfg.MinWeight}),
+		baseline: engine.NewConfig(tpch.BaselineIndexes(cfg.Catalog)...),
+	}
+	return d, nil
+}
+
+// IngestResult reports one ingestion batch.
+type IngestResult struct {
+	// Accepted is the number of statements folded into the stream.
+	Accepted int `json:"accepted"`
+	// Live is the distinct-statement count of the live workload.
+	Live int `json:"live"`
+	// Observed is the lifetime statement count.
+	Observed int64 `json:"observed"`
+}
+
+// Ingest parses a batch of SQL-ish statements and folds them into the
+// live workload. weightScale, when positive, multiplies every parsed
+// statement weight (a cheap way to replay traces with importance).
+// Each batch advances the decay clock by one tick.
+func (d *Daemon) Ingest(sql string, weightScale float64) (IngestResult, error) {
+	w, err := workload.Parse(d.cat, sql)
+	if err != nil {
+		return IngestResult{}, err
+	}
+	for _, s := range w.Statements {
+		if weightScale > 0 {
+			s.Weight *= weightScale
+		}
+		d.stream.Observe(s)
+	}
+	d.stream.Tick()
+	d.ingested.Add(int64(w.Size()))
+	return IngestResult{
+		Accepted: w.Size(),
+		Live:     d.stream.Len(),
+		Observed: d.stream.Observed(),
+	}, nil
+}
+
+// WhatIfResult is one hypothetical costing.
+type WhatIfResult struct {
+	// Cost is the INUM cost of the statement under the hypothetical
+	// configuration (baseline ∪ requested indexes).
+	Cost float64 `json:"cost"`
+	// BaseCost is the cost under the baseline configuration alone.
+	BaseCost float64 `json:"base_cost"`
+	// Improvement is 1 − Cost/BaseCost.
+	Improvement float64 `json:"improvement"`
+}
+
+// WhatIf prices one statement under a hypothetical index
+// configuration without any optimizer call beyond the (cached) INUM
+// preparation. It takes no daemon-wide lock: concurrent calls contend
+// only on the INUM cache's shard stripes.
+func (d *Daemon) WhatIf(sql string, indexes []*catalog.Index) (WhatIfResult, error) {
+	w, err := workload.Parse(d.cat, sql)
+	if err != nil {
+		return WhatIfResult{}, err
+	}
+	if w.Size() != 1 {
+		return WhatIfResult{}, fmt.Errorf("server: what-if takes exactly one statement, got %d", w.Size())
+	}
+	s := w.Statements[0]
+	// Key the INUM cache by the statement's canonical form so repeated
+	// what-ifs of one statement (under any configuration) share the
+	// template plans, while distinct statements never collide.
+	id := "whatif-" + fnvHex(s.String())
+	if s.Query != nil {
+		s.Query.ID = id
+	} else {
+		s.Update.ID = id
+	}
+	for _, ix := range indexes {
+		t := d.cat.Table(ix.Table)
+		if t == nil {
+			return WhatIfResult{}, fmt.Errorf("server: index on unknown table %q", ix.Table)
+		}
+		for _, col := range append(append([]string(nil), ix.Key...), ix.Include...) {
+			if t.Column(col) == nil {
+				return WhatIfResult{}, fmt.Errorf("server: unknown column %s.%s", ix.Table, col)
+			}
+		}
+	}
+	cfg := engine.NewConfig(d.baseline.Indexes()...)
+	for _, ix := range indexes {
+		cfg.Add(ix)
+	}
+	cost, err := d.ad.Inum.StatementCost(s, cfg)
+	if err != nil {
+		return WhatIfResult{}, err
+	}
+	base, err := d.ad.Inum.StatementCost(s, d.baseline)
+	if err != nil {
+		return WhatIfResult{}, err
+	}
+	d.whatifs.Add(1)
+	res := WhatIfResult{Cost: cost, BaseCost: base}
+	if base > 0 {
+		res.Improvement = 1 - cost/base
+	}
+	return res, nil
+}
+
+// RecommendOptions parameterize one recommendation.
+type RecommendOptions struct {
+	// BudgetFraction is the storage budget as a fraction of the data
+	// size; zero or negative means unconstrained.
+	BudgetFraction float64 `json:"budget_fraction"`
+}
+
+// RecommendResult is one recommendation over the live workload.
+type RecommendResult struct {
+	Indexes []IndexSpec `json:"indexes"`
+	// EstCost/Lower/Gap mirror cophy.Result.
+	EstCost float64 `json:"est_cost"`
+	Lower   float64 `json:"lower"`
+	Gap     float64 `json:"gap"`
+	// Iters counts solver subgradient iterations — warm incremental
+	// re-solves show up as a drop here.
+	Iters int `json:"iters"`
+	// Warm is true when the solve reused the previous session state.
+	Warm bool `json:"warm"`
+	// WorkloadSize and Candidates describe the solved instance.
+	WorkloadSize int `json:"workload_size"`
+	Candidates   int `json:"candidates"`
+	// InumMillis/BuildMillis/SolveMillis break down the wall time.
+	InumMillis  float64 `json:"inum_ms"`
+	BuildMillis float64 `json:"build_ms"`
+	SolveMillis float64 `json:"solve_ms"`
+	// Infeasible recommendations name the offending constraints.
+	Infeasible bool     `json:"infeasible,omitempty"`
+	Violated   []string `json:"violated,omitempty"`
+}
+
+// Recommend solves the index-selection problem over the current live
+// workload. The first call is cold (INUM preparation plus a cold
+// Lagrangian solve); subsequent calls reuse the daemon's session — the
+// INUM cache, the previous incumbent as MIP start, and the previous
+// multipliers matched to surviving statements by block label — so a
+// re-solve after a small ingestion delta is incremental.
+func (d *Daemon) Recommend(opts RecommendOptions) (RecommendResult, error) {
+	w := d.stream.Snapshot()
+	if w.Size() == 0 {
+		return RecommendResult{}, fmt.Errorf("server: no workload ingested yet")
+	}
+	cons := cophy.NoConstraints()
+	if opts.BudgetFraction > 0 {
+		cons = cophy.FractionOfData(d.cat, opts.BudgetFraction)
+	}
+	cands := cophy.Candidates(d.cat, w, d.cgen)
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.session == nil {
+		d.session = d.ad.NewSession(w, cands, cons)
+	} else {
+		d.session.SetWorkload(w)
+		d.session.AddCandidates(cands)
+		d.session.SetConstraints(cons)
+	}
+	// Infeasible solves are not retained by the session, so a failed
+	// recommendation leaves the next one cold — ask the session, don't
+	// count calls.
+	warm := d.session.Warm()
+	res, err := d.session.Solve()
+	if err != nil {
+		return RecommendResult{}, err
+	}
+	d.recommends.Add(1)
+
+	out := RecommendResult{
+		EstCost:      res.EstCost,
+		Lower:        res.Lower,
+		Gap:          res.Gap,
+		Iters:        res.Iters,
+		Warm:         warm,
+		WorkloadSize: w.Size(),
+		Candidates:   len(d.session.Candidates()),
+		InumMillis:   res.Times.INUM.Seconds() * 1000,
+		BuildMillis:  res.Times.Build.Seconds() * 1000,
+		SolveMillis:  res.Times.Solve.Seconds() * 1000,
+		Infeasible:   res.Infeasible,
+		Violated:     res.Violated,
+	}
+	for _, ix := range res.Indexes {
+		out.Indexes = append(out.Indexes, specOf(d.cat, ix))
+	}
+	return out, nil
+}
+
+// Stats is the daemon's observability snapshot.
+type Stats struct {
+	Live       int   `json:"live_statements"`
+	Observed   int64 `json:"observed_statements"`
+	Ticks      int64 `json:"decay_ticks"`
+	Ingested   int64 `json:"ingested"`
+	WhatIfs    int64 `json:"whatifs"`
+	Recommends int64 `json:"recommends"`
+	// PreparedQueries and PrepCalls expose the INUM cache state.
+	PreparedQueries int   `json:"prepared_queries"`
+	PrepCalls       int64 `json:"prep_calls"`
+}
+
+// Snapshot returns current counters.
+func (d *Daemon) Snapshot() Stats {
+	calls, _ := d.ad.Inum.PrepStats()
+	return Stats{
+		Live:            d.stream.Len(),
+		Observed:        d.stream.Observed(),
+		Ticks:           d.stream.Ticks(),
+		Ingested:        d.ingested.Load(),
+		WhatIfs:         d.whatifs.Load(),
+		Recommends:      d.recommends.Load(),
+		PreparedQueries: d.ad.Inum.Prepared(),
+		PrepCalls:       calls,
+	}
+}
+
+// fnvHex is a 64-bit FNV-1a hash rendered as hex.
+func fnvHex(s string) string {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return fmt.Sprintf("%016x", h.Sum64())
+}

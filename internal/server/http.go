@@ -1,0 +1,135 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/catalog"
+)
+
+// IndexSpec is the wire form of an index.
+type IndexSpec struct {
+	Table     string   `json:"table"`
+	Key       []string `json:"key"`
+	Include   []string `json:"include,omitempty"`
+	Clustered bool     `json:"clustered,omitempty"`
+	// SizeBytes is filled in responses only.
+	SizeBytes int64 `json:"size_bytes,omitempty"`
+}
+
+// Index converts the spec to a catalog index.
+func (sp IndexSpec) Index() *catalog.Index {
+	return &catalog.Index{
+		Table:     sp.Table,
+		Key:       append([]string(nil), sp.Key...),
+		Include:   append([]string(nil), sp.Include...),
+		Clustered: sp.Clustered,
+	}
+}
+
+// specOf renders an index (with its size, when the table is known).
+func specOf(cat *catalog.Catalog, ix *catalog.Index) IndexSpec {
+	sp := IndexSpec{Table: ix.Table, Key: ix.Key, Include: ix.Include, Clustered: ix.Clustered}
+	if t := cat.Table(ix.Table); t != nil {
+		sp.SizeBytes = ix.Bytes(t)
+	}
+	return sp
+}
+
+// ingestRequest is the POST /ingest body.
+type ingestRequest struct {
+	// SQL holds semicolon-separated statements in the workload parser's
+	// dialect, each with an optional WEIGHT suffix.
+	SQL string `json:"sql"`
+	// WeightScale, when positive, multiplies every statement weight.
+	WeightScale float64 `json:"weight_scale,omitempty"`
+}
+
+// whatIfRequest is the POST /whatif body.
+type whatIfRequest struct {
+	SQL     string      `json:"sql"`
+	Indexes []IndexSpec `json:"indexes,omitempty"`
+}
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST /ingest    {"sql": "...; ...", "weight_scale": 2}  → IngestResult
+//	POST /whatif    {"sql": "...", "indexes": [...]}        → WhatIfResult
+//	POST /recommend {"budget_fraction": 0.5}                → RecommendResult
+//	GET  /stats                                             → Stats
+//	GET  /healthz                                           → 200 ok
+func (d *Daemon) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /ingest", func(w http.ResponseWriter, r *http.Request) {
+		var req ingestRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		res, err := d.Ingest(req.SQL, req.WeightScale)
+		reply(w, res, err)
+	})
+	mux.HandleFunc("POST /whatif", func(w http.ResponseWriter, r *http.Request) {
+		var req whatIfRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		indexes := make([]*catalog.Index, len(req.Indexes))
+		for i, sp := range req.Indexes {
+			indexes[i] = sp.Index()
+		}
+		res, err := d.WhatIf(req.SQL, indexes)
+		reply(w, res, err)
+	})
+	mux.HandleFunc("POST /recommend", func(w http.ResponseWriter, r *http.Request) {
+		var req RecommendOptions
+		if !decode(w, r, &req) {
+			return
+		}
+		res, err := d.Recommend(req)
+		reply(w, res, err)
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		reply(w, d.Snapshot(), nil)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// decode reads a JSON body, answering 400 on malformed input.
+func decode(w http.ResponseWriter, r *http.Request, into any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+// reply writes a JSON response, mapping errors to 422 (the request was
+// well-formed but not servable: parse errors, unknown tables, empty
+// workload).
+func reply(w http.ResponseWriter, res any, err error) {
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(res); err != nil && !errors.Is(err, http.ErrHandlerTimeout) {
+		// The connection is gone; nothing recoverable.
+		return
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

@@ -73,6 +73,16 @@ func lex(text string) []string {
 			j := i
 			if text[j] == ':' {
 				j++
+				// Named placeholder (`:v`, as UPDATE SET values render):
+				// one opaque token, so rendered updates round-trip.
+				if j < len(text) && isIdent(text[j]) {
+					for j < len(text) && (isIdent(text[j]) || isDigit(text[j])) {
+						j++
+					}
+					toks = append(toks, text[i:j])
+					i = j
+					continue
+				}
 			}
 			for j < len(text) && (isDigit(text[j]) || text[j] == '.') {
 				j++

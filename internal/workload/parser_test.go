@@ -1,6 +1,8 @@
 package workload
 
 import (
+	"fmt"
+	"math"
 	"strings"
 	"testing"
 
@@ -180,5 +182,121 @@ func TestParseCountStar(t *testing.T) {
 	q := st.Query
 	if !q.Aggregate || len(q.Select) != 1 {
 		t.Fatalf("count(*) handling: agg=%v select=%v", q.Aggregate, q.Select)
+	}
+}
+
+func TestParseWeightRoundTrip(t *testing.T) {
+	// Weights are not part of String()'s rendering, so the streaming
+	// ingestion path re-attaches them as WEIGHT suffixes; the parser
+	// must round-trip integral and fractional weights exactly.
+	cat := tpch.Build(tpch.Config{ScaleFactor: 0.01})
+	gen := Hom(HomConfig{Queries: 8, Seed: 51})
+	weights := []float64{1, 2.5, 0.125, 10, 3, 0.5, 7, 1.75}
+	var b strings.Builder
+	for i, st := range gen.Statements {
+		b.WriteString(st.String())
+		fmt.Fprintf(&b, " WEIGHT %g;\n", weights[i])
+	}
+	parsed, err := Parse(cat, b.String())
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if parsed.Size() != gen.Size() {
+		t.Fatalf("size %d != %d", parsed.Size(), gen.Size())
+	}
+	for i, st := range parsed.Statements {
+		if st.Weight != weights[i] {
+			t.Fatalf("statement %d weight = %v, want %v", i, st.Weight, weights[i])
+		}
+	}
+	if got, want := parsed.TotalWeight(), 25.875; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("total weight = %v, want %v", got, want)
+	}
+}
+
+func TestParseUpdateVariants(t *testing.T) {
+	// Multi-column SET, unconditional UPDATE, and the shell derivation.
+	st := parseOne(t, "UPDATE orders SET o_totalprice = :0.5, o_shippriority = :0.1;")
+	u := st.Update
+	if u == nil || len(u.SetCols) != 2 || len(u.Where) != 0 {
+		t.Fatalf("update = %+v", u)
+	}
+	shell := u.Shell()
+	if len(shell.Select) != 2 || shell.Tables[0] != "orders" {
+		t.Fatalf("shell = %+v", shell)
+	}
+	// UPDATE with equality WHERE keeps the predicate in the shell.
+	st = parseOne(t, "UPDATE customer SET c_acctbal = :0.9 WHERE c_mktsegment = :0.2;")
+	if len(st.Update.Where) != 1 || st.Update.Where[0].Op != OpEq {
+		t.Fatalf("where = %+v", st.Update.Where)
+	}
+}
+
+func TestParseUpdateErrors(t *testing.T) {
+	cat := tpch.Build(tpch.Config{ScaleFactor: 0.01})
+	for _, bad := range []string{
+		"UPDATE nope SET x = :0.5;",                                          // unknown table
+		"UPDATE lineitem l_quantity = :0.5;",                                 // missing SET
+		"UPDATE lineitem SET l_quantity :0.5;",                               // missing =
+		"UPDATE lineitem SET o_totalprice = :0.5;",                           // column of another table
+		"UPDATE lineitem SET l_quantity = :0.5 WHERE l_orderkey = o_orderkey;", // join in UPDATE WHERE
+		"UPDATE lineitem SET = :0.5;",                                        // missing column
+	} {
+		if _, err := Parse(cat, bad); err == nil {
+			t.Fatalf("expected error for %q", bad)
+		}
+	}
+}
+
+func TestParseMoreErrorPaths(t *testing.T) {
+	cat := tpch.Build(tpch.Config{ScaleFactor: 0.01})
+	for _, bad := range []string{
+		"SELECT l_quantity FROM lineitem WEIGHT x;",                     // non-numeric weight
+		"SELECT SUM l_quantity FROM lineitem;",                          // aggregate without parens
+		"SELECT SUM(l_quantity FROM lineitem;",                          // unclosed aggregate
+		"SELECT l_quantity FROM lineitem WHERE l_shipdate BETWEEN :0.1 :0.2;", // BETWEEN missing AND
+		"SELECT l_quantity FROM lineitem WHERE l_shipdate < banana;",    // non-constant comparison
+		"SELECT l_quantity FROM lineitem ORDER l_shipdate;",             // ORDER without BY
+		"SELECT l_quantity FROM lineitem GROUP BY;",                     // empty GROUP BY list
+		"SELECT l_quantity FROM lineitem extra;",                        // trailing garbage
+		"SELECT l_quantity, FROM lineitem;",                             // dangling comma swallows FROM
+		"-- only a comment",                                             // no statements
+	} {
+		if _, err := Parse(cat, bad); err == nil {
+			t.Fatalf("expected error for %q", bad)
+		}
+	}
+}
+
+func TestParseUpdateRoundTripThroughString(t *testing.T) {
+	// Update.String renders SET values as the named placeholder `:v`;
+	// the parser must accept that form back (the ingestion daemon
+	// replays rendered workloads).
+	cat := tpch.Build(tpch.Config{ScaleFactor: 0.01})
+	gen := Hom(HomConfig{Queries: 10, UpdateFraction: 0.5, Seed: 52})
+	var b strings.Builder
+	nUpdates := 0
+	for _, st := range gen.Statements {
+		if st.IsUpdate() {
+			nUpdates++
+		}
+		b.WriteString(st.String())
+		b.WriteString(";\n")
+	}
+	if nUpdates == 0 {
+		t.Fatal("generator produced no updates")
+	}
+	parsed, err := Parse(cat, b.String())
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	gotUpdates := 0
+	for _, st := range parsed.Statements {
+		if st.IsUpdate() {
+			gotUpdates++
+		}
+	}
+	if gotUpdates != nUpdates {
+		t.Fatalf("updates %d != %d", gotUpdates, nUpdates)
 	}
 }

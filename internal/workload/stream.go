@@ -1,0 +1,154 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// StreamConfig tunes a Stream.
+type StreamConfig struct {
+	// HalfLife is the exponential-decay half-life in ticks: after
+	// HalfLife calls to Tick, an unrefreshed statement's weight has
+	// halved. Zero or negative disables decay (pure accumulation).
+	HalfLife float64
+	// MinWeight evicts statements whose decayed weight falls below it.
+	// Zero means 1e-3 when decay is enabled; eviction never runs
+	// without decay.
+	MinWeight float64
+}
+
+// Stream aggregates an unbounded statement stream into a bounded live
+// workload. Statements are deduplicated structurally (two observations
+// with the same rendered form are one workload entry whose weight
+// accumulates), weights decay exponentially per Tick, and entries
+// whose weight decays away are evicted. Each distinct statement
+// receives a stable ID at first observation and keeps it for life, so
+// downstream consumers — the INUM cache keyed by query ID, the
+// solver's block-labeled warm starts — treat successive snapshots as
+// deltas of one living workload rather than unrelated problems.
+//
+// Stream is safe for concurrent use.
+type Stream struct {
+	mu        sync.Mutex
+	decay     float64
+	minWeight float64
+	entries   map[string]*streamEntry
+	order     []*streamEntry
+	nextID    int
+	observed  int64
+	ticks     int64
+}
+
+// streamEntry is one live statement with its decayed weight.
+type streamEntry struct {
+	st     *Statement
+	weight float64
+}
+
+// NewStream builds an empty stream aggregator.
+func NewStream(cfg StreamConfig) *Stream {
+	decay := 1.0
+	if cfg.HalfLife > 0 {
+		decay = math.Exp2(-1 / cfg.HalfLife)
+	}
+	minWeight := cfg.MinWeight
+	if minWeight <= 0 {
+		minWeight = 1e-3
+	}
+	return &Stream{
+		decay:     decay,
+		minWeight: minWeight,
+		entries:   make(map[string]*streamEntry),
+	}
+}
+
+// Observe folds one statement into the live workload: a structurally
+// new statement is adopted (the stream takes ownership and assigns its
+// stable ID); a known one adds its weight to the existing entry. It
+// returns the entry's stable ID.
+func (st *Stream) Observe(s *Statement) string {
+	key := s.String()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.observed++
+	if e, ok := st.entries[key]; ok {
+		e.weight += s.Weight
+		return e.st.ID()
+	}
+	id := fmt.Sprintf("stream-%06d", st.nextID)
+	st.nextID++
+	if s.Query != nil {
+		s.Query.ID = id
+	} else {
+		s.Update.ID = id
+	}
+	e := &streamEntry{st: s, weight: s.Weight}
+	st.entries[key] = e
+	st.order = append(st.order, e)
+	return id
+}
+
+// Tick advances the decay clock once: every weight is multiplied by
+// the per-tick decay factor and entries falling below the eviction
+// threshold are dropped. Without decay configured, Tick only counts.
+func (st *Stream) Tick() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.ticks++
+	if st.decay >= 1 {
+		return
+	}
+	kept := st.order[:0]
+	for _, e := range st.order {
+		e.weight *= st.decay
+		if e.weight < st.minWeight {
+			delete(st.entries, e.st.String())
+			continue
+		}
+		kept = append(kept, e)
+	}
+	for i := len(kept); i < len(st.order); i++ {
+		st.order[i] = nil
+	}
+	st.order = kept
+}
+
+// Snapshot materializes the live workload: the surviving statements in
+// first-seen order with their current decayed weights. The returned
+// workload shares the (immutable) statement structures but owns its
+// weight values, so later Observe/Tick calls do not disturb it.
+func (st *Stream) Snapshot() *Workload {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	w := &Workload{Name: fmt.Sprintf("stream@%d", st.ticks)}
+	for _, e := range st.order {
+		w.Statements = append(w.Statements, &Statement{
+			Query:  e.st.Query,
+			Update: e.st.Update,
+			Weight: e.weight,
+		})
+	}
+	return w
+}
+
+// Len returns the number of live (distinct, unevicted) statements.
+func (st *Stream) Len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.order)
+}
+
+// Observed returns the total number of Observe calls.
+func (st *Stream) Observed() int64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.observed
+}
+
+// Ticks returns the number of Tick calls.
+func (st *Stream) Ticks() int64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.ticks
+}

@@ -1,0 +1,148 @@
+package workload
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/tpch"
+)
+
+func streamStatements(t *testing.T, sql string) []*Statement {
+	t.Helper()
+	cat := tpch.Build(tpch.Config{ScaleFactor: 0.01})
+	w, err := Parse(cat, sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w.Statements
+}
+
+func TestStreamDeduplicatesAndAccumulates(t *testing.T) {
+	st := NewStream(StreamConfig{})
+	a := streamStatements(t, "SELECT l_quantity FROM lineitem WHERE l_shipdate < :0.3;")[0]
+	b := streamStatements(t, "SELECT l_quantity FROM lineitem WHERE l_shipdate < :0.3 WEIGHT 2;")[0]
+	c := streamStatements(t, "SELECT o_totalprice FROM orders WHERE o_orderdate < :0.4;")[0]
+
+	id1 := st.Observe(a)
+	id2 := st.Observe(b) // structurally identical (weight differs, form identical)
+	id3 := st.Observe(c)
+	if id1 != id2 {
+		t.Fatalf("identical statements got distinct IDs: %s vs %s", id1, id2)
+	}
+	if id1 == id3 {
+		t.Fatalf("distinct statements share an ID: %s", id1)
+	}
+	if st.Len() != 2 {
+		t.Fatalf("live statements = %d, want 2", st.Len())
+	}
+	w := st.Snapshot()
+	if w.Size() != 2 {
+		t.Fatalf("snapshot size = %d", w.Size())
+	}
+	if w.Statements[0].Weight != 3 { // 1 + 2 accumulated
+		t.Fatalf("accumulated weight = %v, want 3", w.Statements[0].Weight)
+	}
+	if w.Statements[0].ID() != id1 || w.Statements[1].ID() != id3 {
+		t.Fatalf("snapshot IDs %s/%s, want %s/%s", w.Statements[0].ID(), w.Statements[1].ID(), id1, id3)
+	}
+}
+
+func TestStreamDecayAndEviction(t *testing.T) {
+	st := NewStream(StreamConfig{HalfLife: 2, MinWeight: 0.3})
+	s := streamStatements(t, "SELECT l_quantity FROM lineitem WHERE l_shipdate < :0.3;")[0]
+	id := st.Observe(s)
+
+	st.Tick()
+	st.Tick() // one half-life
+	w := st.Snapshot()
+	if len(w.Statements) != 1 {
+		t.Fatalf("statement evicted too early")
+	}
+	if got := w.Statements[0].Weight; math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("weight after one half-life = %v, want 0.5", got)
+	}
+
+	// Re-observing refreshes the weight and keeps the stable ID.
+	s2 := streamStatements(t, "SELECT l_quantity FROM lineitem WHERE l_shipdate < :0.3;")[0]
+	if id2 := st.Observe(s2); id2 != id {
+		t.Fatalf("refresh changed ID: %s vs %s", id2, id)
+	}
+	if got := st.Snapshot().Statements[0].Weight; math.Abs(got-1.5) > 1e-12 {
+		t.Fatalf("refreshed weight = %v, want 1.5", got)
+	}
+
+	// Decay to below MinWeight: 1.5 · 2^(-k/2) < 0.3 at k = 5.
+	for i := 0; i < 5; i++ {
+		st.Tick()
+	}
+	if st.Len() != 0 {
+		t.Fatalf("statement survived below the eviction threshold (len=%d)", st.Len())
+	}
+	// After eviction, the statement re-enters under a fresh ID.
+	s3 := streamStatements(t, "SELECT l_quantity FROM lineitem WHERE l_shipdate < :0.3;")[0]
+	if id3 := st.Observe(s3); id3 == id {
+		t.Fatalf("evicted statement resurrected its old ID %s", id)
+	}
+}
+
+func TestStreamSnapshotIsolation(t *testing.T) {
+	st := NewStream(StreamConfig{HalfLife: 1})
+	st.Observe(streamStatements(t, "SELECT l_quantity FROM lineitem WHERE l_shipdate < :0.3;")[0])
+	w := st.Snapshot()
+	before := w.Statements[0].Weight
+	st.Tick()
+	st.Observe(streamStatements(t, "SELECT o_totalprice FROM orders WHERE o_orderdate < :0.4;")[0])
+	if w.Statements[0].Weight != before || w.Size() != 1 {
+		t.Fatal("snapshot mutated by later stream activity")
+	}
+}
+
+func TestStreamUpdateStatements(t *testing.T) {
+	st := NewStream(StreamConfig{})
+	u := streamStatements(t, "UPDATE lineitem SET l_quantity = :0.5 WHERE l_orderkey < :0.2 WEIGHT 4;")[0]
+	id := st.Observe(u)
+	w := st.Snapshot()
+	if !w.Statements[0].IsUpdate() || w.Statements[0].Weight != 4 {
+		t.Fatalf("update statement mishandled: %+v", w.Statements[0])
+	}
+	if w.Statements[0].ID() != id {
+		t.Fatalf("update ID %s, want %s", w.Statements[0].ID(), id)
+	}
+	// The update's query shell inherits the stable ID.
+	shell := w.Queries()[0].Query
+	if shell.ID != id+"#shell" {
+		t.Fatalf("shell ID = %s", shell.ID)
+	}
+}
+
+func TestStreamConcurrentObserve(t *testing.T) {
+	st := NewStream(StreamConfig{HalfLife: 50})
+	texts := []string{
+		"SELECT l_quantity FROM lineitem WHERE l_shipdate < :0.3;",
+		"SELECT o_totalprice FROM orders WHERE o_orderdate < :0.4;",
+		"SELECT c_name FROM customer WHERE c_mktsegment = :0.3;",
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				s := streamStatements(t, texts[(g+i)%len(texts)])[0]
+				st.Observe(s)
+				if i%5 == 0 {
+					st.Tick()
+					st.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st.Len() != len(texts) {
+		t.Fatalf("live = %d, want %d", st.Len(), len(texts))
+	}
+	if st.Observed() != 160 {
+		t.Fatalf("observed = %d, want 160", st.Observed())
+	}
+}

@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# Boots cophyd on a random port, ingests a small TPC-H-style stream,
+# and asserts /whatif and /recommend responses. Usage:
+#
+#   scripts/cophyd_smoke.sh [path-to-cophyd-binary]
+#
+# Without an argument the script builds the binary itself.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BIN="${1:-}"
+if [ -z "$BIN" ]; then
+  BIN=$(mktemp -d)/cophyd
+  go build -o "$BIN" ./cmd/cophyd
+fi
+
+LOG=$(mktemp)
+"$BIN" -addr 127.0.0.1:0 -scale 0.05 -gap 0.05 >"$LOG" 2>&1 &
+PID=$!
+trap 'kill $PID 2>/dev/null || true' EXIT
+
+# Wait for the listening line and extract the port.
+ADDR=""
+for _ in $(seq 1 50); do
+  ADDR=$(sed -n 's/^cophyd listening on //p' "$LOG" | head -1)
+  [ -n "$ADDR" ] && break
+  sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+  echo "cophyd did not start; log:" >&2
+  cat "$LOG" >&2
+  exit 1
+fi
+BASE="http://$ADDR"
+echo "daemon at $BASE"
+
+fail() {
+  echo "FAIL: $1" >&2
+  echo "--- response: $2" >&2
+  exit 1
+}
+
+curl -fsS "$BASE/healthz" >/dev/null
+
+# Ingest a small TPC-H-style stream.
+INGEST=$(curl -fsS -X POST "$BASE/ingest" -d '{
+  "sql": "SELECT l_extendedprice FROM lineitem WHERE l_shipdate BETWEEN :0.2 AND :0.3 WEIGHT 5; SELECT o_totalprice FROM orders WHERE o_orderdate < :0.4 WEIGHT 3; SELECT c_name FROM customer WHERE c_mktsegment = :0.3; SELECT o_orderdate, SUM(l_extendedprice) FROM orders, lineitem WHERE l_orderkey = o_orderkey AND o_orderdate < :0.5 GROUP BY o_orderdate WEIGHT 2; UPDATE lineitem SET l_quantity = :0.5 WHERE l_orderkey < :0.1;"
+}')
+echo "$INGEST" | grep -q '"accepted": 5' || fail "/ingest should accept 5 statements" "$INGEST"
+
+# What-if: a covering index must not cost more than the baseline.
+WHATIF=$(curl -fsS -X POST "$BASE/whatif" -d '{
+  "sql": "SELECT l_extendedprice FROM lineitem WHERE l_shipdate BETWEEN :0.2 AND :0.3;",
+  "indexes": [{"table": "lineitem", "key": ["l_shipdate"], "include": ["l_extendedprice"]}]
+}')
+echo "$WHATIF" | grep -q '"cost"' || fail "/whatif should return a cost" "$WHATIF"
+python3 - "$WHATIF" <<'EOF'
+import json, sys
+r = json.loads(sys.argv[1])
+assert r["cost"] > 0, r
+assert r["cost"] <= r["base_cost"], r
+assert r["improvement"] > 0, r
+EOF
+
+# Recommend: a feasible, budget-respecting index set.
+REC=$(curl -fsS -X POST "$BASE/recommend" -d '{"budget_fraction": 0.5}')
+python3 - "$REC" <<'EOF'
+import json, sys
+r = json.loads(sys.argv[1])
+assert not r.get("infeasible"), r
+assert len(r["indexes"]) > 0, r
+assert r["est_cost"] > 0 and r["gap"] >= 0, r
+assert r["warm"] is False, r
+EOF
+
+# A second recommend after a small delta must be warm.
+curl -fsS -X POST "$BASE/ingest" -d '{
+  "sql": "SELECT o_orderpriority, COUNT(*) FROM orders WHERE o_orderdate BETWEEN :0.1 AND :0.2 GROUP BY o_orderpriority WEIGHT 4;"
+}' >/dev/null
+REC2=$(curl -fsS -X POST "$BASE/recommend" -d '{"budget_fraction": 0.5}')
+python3 - "$REC2" <<'EOF'
+import json, sys
+r = json.loads(sys.argv[1])
+assert r["warm"] is True, r
+assert not r.get("infeasible"), r
+EOF
+
+STATS=$(curl -fsS "$BASE/stats")
+echo "$STATS" | grep -q '"recommends": 2' || fail "stats should count 2 recommends" "$STATS"
+
+echo "cophyd smoke test PASSED"
