@@ -42,6 +42,8 @@ func main() {
 	maxNodes := flag.Int("max-nodes", 32, "branch-and-bound node cap")
 	halfLife := flag.Float64("half-life", 64, "ingestion decay half-life in batches (negative disables decay)")
 	minWeight := flag.Float64("min-weight", 1e-3, "eviction threshold for decayed statements")
+	reqTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request deadline for /recommend; the solver inherits the remaining time (0 disables)")
+	maxCandidates := flag.Int("max-candidates", 4096, "cap on the candidate set a /recommend may solve over; exceeding it answers 413 (0 disables)")
 	flag.Parse()
 
 	prof := engine.SystemA()
@@ -52,11 +54,13 @@ func main() {
 	eng := engine.New(cat, prof)
 
 	d, err := server.New(server.Config{
-		Catalog:   cat,
-		Engine:    eng,
-		Advisor:   cophy.Options{GapTol: *gap, RootIters: *rootIters, MaxNodes: *maxNodes},
-		HalfLife:  *halfLife,
-		MinWeight: *minWeight,
+		Catalog:        cat,
+		Engine:         eng,
+		Advisor:        cophy.Options{GapTol: *gap, RootIters: *rootIters, MaxNodes: *maxNodes},
+		HalfLife:       *halfLife,
+		MinWeight:      *minWeight,
+		RequestTimeout: *reqTimeout,
+		MaxCandidates:  *maxCandidates,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
@@ -73,20 +77,27 @@ func main() {
 	fmt.Printf("cophyd listening on %s\n", ln.Addr())
 
 	srv := &http.Server{Handler: d.Handler(), ReadHeaderTimeout: 10 * time.Second}
-	done := make(chan struct{})
+	serveErr := make(chan error, 1)
 	go func() {
-		defer close(done)
-		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
-			fmt.Fprintln(os.Stderr, "serve error:", err)
-		}
+		serveErr <- srv.Serve(ln)
 	}()
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
-	fmt.Println("cophyd shutting down")
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-	defer cancel()
-	_ = srv.Shutdown(ctx)
-	<-done
+	select {
+	case <-sig:
+		fmt.Println("cophyd shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+		<-serveErr
+	case err := <-serveErr:
+		// The listener died out from under us: exit non-zero rather
+		// than lingering as a healthy-looking process that serves
+		// nothing.
+		if err != http.ErrServerClosed {
+			fmt.Fprintln(os.Stderr, "serve error:", err)
+			os.Exit(1)
+		}
+	}
 }

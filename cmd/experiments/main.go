@@ -9,24 +9,27 @@
 // instances with the same structure. Output is one aligned text table
 // per experiment, with the paper's expected values quoted in notes.
 //
-// # Benchmark artifacts (-bench-json)
+// # Benchmark artifacts (-bench-json, -bench-diff)
 //
 // `experiments -bench-json DIR` runs the substrate micro-benchmarks
-// and writes BENCH_inum.json / BENCH_solver.json into DIR: one entry
-// per benchmark with ns/op, allocations and the run's GOMAXPROCS.
-// The intended CI trajectory, once a baseline artifact store exists
-// (ROADMAP item):
+// and writes BENCH_inum.json / BENCH_solver.json / BENCH_lp.json into
+// DIR: one entry per benchmark with ns/op, allocations and the run's
+// GOMAXPROCS.
+//
+// `experiments -bench-diff BASEDIR -bench-json NEWDIR` compares a
+// fresh run against a baseline directory and prints a per-benchmark
+// delta table with the noise gate applied (>15% on any entry, or >5%
+// on three or more, is flagged). CI uploads each run's BENCH_*.json as
+// a workflow artifact and runs the diff against the previous run's
+// artifact in a non-blocking job; once a pinned-hardware baseline
+// store exists the gate can start failing the job:
 //
 //  1. CI downloads the previous main-branch BENCH_*.json as the
-//     baseline (e.g. from the artifact store of the last green run).
+//     baseline (currently: the last run's `bench-json` artifact).
 //  2. It re-runs `-bench-json` on the PR head — same machine class,
 //     pinned -benchtime — and compares per-benchmark ns/op.
-//  3. Regressions beyond a noise gate (suggested: >15% on any entry,
-//     or >5% on three or more) fail the job with a per-benchmark
-//     delta table; improvements update the stored baseline on merge.
-//
-// Until the store exists the files are uploaded as plain build
-// artifacts, so history can be reconstructed retroactively.
+//  3. Regressions beyond the noise gate fail the job with the delta
+//     table; improvements update the stored baseline on merge.
 package main
 
 import (
@@ -44,15 +47,28 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "workload-size multiplier (1.0 = paper scale)")
 	seed := flag.Int64("seed", 42, "workload generation seed")
 	gap := flag.Float64("gap", 0.05, "solver optimality-gap tolerance")
-	benchJSON := flag.String("bench-json", "", "run the substrate micro-benchmarks and write BENCH_inum.json / BENCH_solver.json into this directory, then exit")
+	benchJSON := flag.String("bench-json", "", "run the substrate micro-benchmarks and write BENCH_inum.json / BENCH_solver.json / BENCH_lp.json into this directory, then exit")
+	benchDiff := flag.String("bench-diff", "", "baseline directory: print the per-benchmark delta of -bench-json's directory (or a previously written one) against it, then exit")
 	flag.Parse()
 
 	if *benchJSON != "" {
+		// Always a fresh run — with -bench-diff as well, so the diff
+		// can never silently compare stale files left in the directory.
 		if err := experiments.WriteBenchJSON(*benchJSON); err != nil {
 			fmt.Fprintf(os.Stderr, "bench-json failed: %v\n", err)
 			os.Exit(1)
 		}
+		if *benchDiff != "" {
+			if err := experiments.DiffBenchJSON(*benchDiff, *benchJSON); err != nil {
+				fmt.Fprintf(os.Stderr, "bench-diff failed: %v\n", err)
+				os.Exit(1)
+			}
+		}
 		return
+	}
+	if *benchDiff != "" {
+		fmt.Fprintln(os.Stderr, "-bench-diff needs -bench-json DIR naming the new results directory")
+		os.Exit(1)
 	}
 
 	cfg := experiments.Config{Scale: *scale, Seed: *seed, GapTol: *gap}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -46,7 +47,7 @@ func main() {
 	}
 
 	recommend := func(phase string) server.RecommendResult {
-		res, err := d.Recommend(server.RecommendOptions{BudgetFraction: 0.5})
+		res, err := d.Recommend(context.Background(), server.RecommendOptions{BudgetFraction: 0.5})
 		if err != nil {
 			panic(err)
 		}

@@ -119,7 +119,11 @@ type node struct {
 	// basis is the parent node's optimal LP basis. The child LP
 	// differs from the parent's by a single variable bound, so its
 	// re-solve warm-starts there and pivots from a near-optimal point
-	// instead of running Phase 1 from scratch.
+	// instead of running Phase 1 from scratch. Because a bound flip
+	// never changes the basis *matrix*, the basis also carries the
+	// parent's factorization (lp.Basis's eta-file snapshot, keyed by
+	// the Clone-shared matrix stamp): the child adopts it outright and
+	// installs the warm start in O(nnz) with no re-pivoting.
 	basis *lp.Basis
 }
 

@@ -1,6 +1,7 @@
 package cophy
 
 import (
+	"context"
 	"math"
 	"time"
 
@@ -113,12 +114,14 @@ func (ad *Advisor) instance(w *workload.Workload, s []*catalog.Index) *Instance 
 // Lagrangian solver) and the bounded search, stopping at the advisor's
 // gap tolerance.
 func (ad *Advisor) solve(inst *Instance, model *lagrange.Model, warm *lagrange.Multipliers, start []bool) (*Result, time.Duration) {
-	return ad.solveWith(inst, model, warm, start, ad.Opts.GapTol)
+	return ad.solveWith(context.Background(), inst, model, warm, start, ad.Opts.GapTol)
 }
 
-// solveWith is solve with an explicit gap tolerance; warm re-solves
-// relax it to the gap the DBA already accepted in the previous session.
-func (ad *Advisor) solveWith(inst *Instance, model *lagrange.Model, warm *lagrange.Multipliers, start []bool, gapTol float64) (*Result, time.Duration) {
+// solveWith is solve with an explicit context and gap tolerance; warm
+// re-solves relax the tolerance to the gap the DBA already accepted in
+// the previous session, and the context's deadline tightens the
+// solver's TimeLimit so a bounded request never outlives its caller.
+func (ad *Advisor) solveWith(ctx context.Context, inst *Instance, model *lagrange.Model, warm *lagrange.Multipliers, start []bool, gapTol float64) (*Result, time.Duration) {
 	t := time.Now()
 	var trace []lagrange.Event
 	progress := func(e lagrange.Event) {
@@ -133,12 +136,19 @@ func (ad *Advisor) solveWith(inst *Instance, model *lagrange.Model, warm *lagran
 			Violated:   model.IdentifyInfeasible(),
 		}, time.Since(t)
 	}
+	timeLimit := ad.Opts.TimeLimit
+	if dl, ok := ctx.Deadline(); ok {
+		if remaining := time.Until(dl); timeLimit == 0 || remaining < timeLimit {
+			timeLimit = remaining
+		}
+	}
 	lr := lagrange.Solve(model, lagrange.Options{
 		GapTol:    gapTol,
 		RootIters: ad.Opts.RootIters,
 		NodeIters: ad.Opts.NodeIters,
 		MaxNodes:  ad.Opts.MaxNodes,
-		TimeLimit: ad.Opts.TimeLimit,
+		TimeLimit: timeLimit,
+		Ctx:       ctx,
 		Warm:      warm,
 		Start:     start,
 		Progress:  progress,
@@ -250,12 +260,28 @@ func (se *Session) Warm() bool { return se.last != nil }
 // Solve computes (or recomputes) the recommendation. The first call
 // pays INUM preparation and a cold solve; later calls are warm.
 func (se *Session) Solve() (*Result, error) {
+	return se.SolveCtx(context.Background())
+}
+
+// SolveCtx is Solve bounded by a context: the deadline tightens the
+// solver's TimeLimit, cancellation stops the search between
+// iterations, and a solve that did not run to completion because the
+// context ended returns the context's error without retaining any
+// session state (the next solve stays warm from the last successful
+// one). This is the daemon's request-timeout path.
+func (se *Session) SolveCtx(ctx context.Context) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	ad := se.ad
 	inst := ad.instance(se.w, se.s)
 
 	t0 := time.Now()
 	ad.Inum.Prepare(se.w)
 	inumTime := time.Since(t0)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	t1 := time.Now()
 	model, err := BuildModel(inst)
@@ -266,6 +292,9 @@ func (se *Session) Solve() (*Result, error) {
 		return nil, err
 	}
 	buildTime := time.Since(t1)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	var warm *lagrange.Multipliers
 	var start []bool
@@ -286,7 +315,12 @@ func (se *Session) Solve() (*Result, error) {
 			gapTol = math.Min(g, 2*ad.Opts.GapTol)
 		}
 	}
-	res, solveTime := ad.solveWith(inst, model, warm, start, gapTol)
+	res, solveTime := ad.solveWith(ctx, inst, model, warm, start, gapTol)
+	if err := ctx.Err(); err != nil {
+		// The search was cut short by the caller's deadline or
+		// cancellation; its partial result is not a recommendation.
+		return nil, err
+	}
 	res.Times = Timings{INUM: inumTime, Build: buildTime, Solve: solveTime}
 	if !res.Infeasible {
 		se.last = res

@@ -243,7 +243,10 @@ func (inst *Instance) slotOptions(qi *inum.QueryInfo, ti, si int, pos map[string
 // validate the theorem (the structured solver and this program must
 // agree) and to solve small constraint-rich instances exactly. For a
 // model with B blocks it allocates Σ options + Σ templates + |S|
-// variables, so keep instances small.
+// variables; each emitted constraint row (a handful of ±1 entries)
+// lands directly in the problem's CSC column store, which is the
+// layout the sparse revised simplex pivots over — no dense m×n
+// intermediate exists at any point.
 func BuildExplicitBIP(m *lagrange.Model) (bip.Model, []int) {
 	// Count variables.
 	nz := m.NumIndexes

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"testing"
 
 	"repro/internal/catalog"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/inum"
 	"repro/internal/lagrange"
+	"repro/internal/lp"
 	"repro/internal/tpch"
 	"repro/internal/workload"
 )
@@ -168,9 +170,122 @@ func BenchSolver() ([]BenchResult, error) {
 	return out, nil
 }
 
-// WriteBenchJSON runs both suites and writes BENCH_inum.json and
-// BENCH_solver.json into dir — the perf-trajectory artifacts the
-// benchmark regression harness tracks across PRs.
+// BenchLP measures the LP substrate: the sparse revised simplex
+// against the dense tableau oracle on identical BIP-shaped instances —
+// lp.RandomBIPShaped over lp.BenchBIPShapes, the same generator and
+// shape table the oracle property test and in-repo benchmark use —
+// plus the factorization-sharing warm-start path. The constraint-rich
+// shape's ≥3× sparse-vs-dense ratio is the LP rewrite's acceptance
+// bar.
+func BenchLP() ([]BenchResult, error) {
+	var out []BenchResult
+	for _, sh := range lp.BenchBIPShapes {
+		var probs []*lp.Problem
+		for seed := int64(0); seed < 8; seed++ {
+			probs = append(probs, lp.RandomBIPShaped(seed, sh.NZ, sh.Blocks, sh.Side, false))
+		}
+		out = append(out, toResult("SolveSparse/"+sh.Name, testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				lp.Solve(probs[i%len(probs)])
+			}
+		})))
+		out = append(out, toResult("SolveDense/"+sh.Name, testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				lp.SolveDense(probs[i%len(probs)])
+			}
+		})))
+	}
+	p := lp.RandomBIPShaped(7, 24, 12, 24, false)
+	root := lp.Solve(p)
+	child := p.Clone()
+	child.SetBounds(0, 1, 1)
+	out = append(out, toResult("WarmSolveFactorShared", testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			lp.SolveFrom(child, root.Basis)
+		}
+	})))
+	return out, nil
+}
+
+// DiffBenchJSON prints a per-benchmark delta table between a baseline
+// directory's BENCH_*.json and a new run's — the comparison recipe of
+// the package comment turned into a command. Regressions beyond the
+// noise gate (>15% on one entry, or >5% on three or more) are flagged
+// in the summary line; the function never fails the caller — the CI
+// job that runs it is non-blocking until a pinned-hardware baseline
+// store exists.
+func DiffBenchJSON(baseDir, newDir string) error {
+	files, err := filepath.Glob(filepath.Join(newDir, "BENCH_*.json"))
+	if err != nil {
+		return err
+	}
+	if len(files) == 0 {
+		return fmt.Errorf("no BENCH_*.json under %s", newDir)
+	}
+	sort.Strings(files)
+	flagged, minor, compared := 0, 0, 0
+	for _, nf := range files {
+		name := filepath.Base(nf)
+		newRes, err := readBench(nf)
+		if err != nil {
+			return err
+		}
+		baseRes, err := readBench(filepath.Join(baseDir, name))
+		if err != nil {
+			fmt.Printf("%s: no baseline (%v) — skipping\n", name, err)
+			continue
+		}
+		base := map[string]BenchResult{}
+		for _, r := range baseRes {
+			base[r.Name] = r
+		}
+		fmt.Printf("\n%s\n%-32s %14s %14s %8s\n", name, "benchmark", "base ns/op", "new ns/op", "delta")
+		for _, r := range newRes {
+			b, ok := base[r.Name]
+			if !ok || b.NsPerOp <= 0 {
+				fmt.Printf("%-32s %14s %14.0f %8s\n", r.Name, "-", r.NsPerOp, "new")
+				continue
+			}
+			compared++
+			delta := (r.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
+			mark := ""
+			switch {
+			case delta > 15:
+				mark = "  <-- regression"
+				flagged++
+			case delta > 5:
+				mark = "  <- slower"
+				minor++
+			}
+			fmt.Printf("%-32s %14.0f %14.0f %+7.1f%%%s\n", r.Name, b.NsPerOp, r.NsPerOp, delta, mark)
+		}
+	}
+	switch {
+	case compared == 0:
+		fmt.Printf("\nno baselines compared — nothing to gate\n")
+	case flagged > 0 || minor >= 3:
+		fmt.Printf("\nnoise gate tripped: %d entries >15%%, %d entries >5%% (advisory until a pinned baseline store exists)\n", flagged, minor)
+	default:
+		fmt.Printf("\nwithin noise gate (%d benchmarks compared)\n", compared)
+	}
+	return nil
+}
+
+func readBench(path string) ([]BenchResult, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []BenchResult
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return out, nil
+}
+
+// WriteBenchJSON runs the suites and writes BENCH_inum.json,
+// BENCH_solver.json and BENCH_lp.json into dir — the perf-trajectory
+// artifacts the benchmark regression harness tracks across PRs.
 func WriteBenchJSON(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
@@ -181,6 +296,7 @@ func WriteBenchJSON(dir string) error {
 	}{
 		{"BENCH_inum.json", BenchInum},
 		{"BENCH_solver.json", BenchSolver},
+		{"BENCH_lp.json", BenchLP},
 	}
 	for _, s := range suites {
 		results, err := s.run()

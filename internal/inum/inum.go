@@ -246,6 +246,26 @@ func (c *Cache) Info(q *workload.Query) *QueryInfo {
 	return sh.queries[q.ID]
 }
 
+// Evict drops the cache entries of the statement with the given ID:
+// the query entry itself and, for updates, the "<id>#shell" entry its
+// query shell was prepared under. It returns the number of entries
+// removed. Wired to workload.Stream's eviction hook, this keeps a
+// long-lived daemon's INUM footprint proportional to the live workload
+// instead of to everything it has ever seen.
+func (c *Cache) Evict(id string) int {
+	removed := 0
+	for _, key := range [...]string{id, id + "#shell"} {
+		sh := c.shard(key)
+		sh.mu.Lock()
+		if _, ok := sh.queries[key]; ok {
+			delete(sh.queries, key)
+			removed++
+		}
+		sh.mu.Unlock()
+	}
+	return removed
+}
+
 // interestingOrders returns the per-table candidate orders of a query:
 // single join columns, the group-by prefix and the order-by prefix
 // restricted to the table.

@@ -209,24 +209,15 @@ func (m *Model) Validate() error {
 
 // zPolytopeLP builds the small LP over the z variables only: bounds
 // [0,1], the budget row and the side constraints, with the given
-// objective coefficients. fixedIn/fixedOut pin variables.
+// objective coefficients. fixedIn/fixedOut pin variables. Each sparse
+// constraint row lands directly in the problem's CSC column store —
+// there is no dense intermediate at any point. The polytope itself
+// never changes between subgradient iterations (only the objective
+// and, under branching, bounds move), so callers build it once and
+// retune it with retuneZPolytope.
 func (m *Model) zPolytopeLP(obj []float64, fixedIn, fixedOut []bool) *lp.Problem {
 	p := lp.NewProblem(m.NumIndexes)
-	for a := 0; a < m.NumIndexes; a++ {
-		p.SetObj(a, obj[a])
-		lo, hi := 0.0, 1.0
-		if fixedIn != nil && fixedIn[a] {
-			lo = 1
-		}
-		if fixedOut != nil && fixedOut[a] {
-			hi = 0
-		}
-		if lo > hi {
-			// Contradictory fixings; make infeasible explicitly.
-			lo, hi = 1, 0
-		}
-		p.SetBounds(a, lo, hi)
-	}
+	m.retuneZPolytope(p, obj, fixedIn, fixedOut)
 	if m.Budget >= 0 {
 		coefs := make([]lp.Coef, 0, m.NumIndexes)
 		for a := 0; a < m.NumIndexes; a++ {
@@ -244,6 +235,29 @@ func (m *Model) zPolytopeLP(obj []float64, fixedIn, fixedOut []bool) *lp.Problem
 		p.AddRow(coefs, c.Sense, c.RHS)
 	}
 	return p
+}
+
+// retuneZPolytope repoints an already-built z-polytope LP at a new
+// objective and new fixings without touching its constraint matrix —
+// the per-iteration delta of the subgradient loop. Keeping the Problem
+// (and so its matrix stamp) alive across iterations is what lets every
+// re-solve adopt the previous basis factorization in O(nnz).
+func (m *Model) retuneZPolytope(p *lp.Problem, obj []float64, fixedIn, fixedOut []bool) {
+	for a := 0; a < m.NumIndexes; a++ {
+		p.SetObj(a, obj[a])
+		lo, hi := 0.0, 1.0
+		if fixedIn != nil && fixedIn[a] {
+			lo = 1
+		}
+		if fixedOut != nil && fixedOut[a] {
+			hi = 0
+		}
+		if lo > hi {
+			// Contradictory fixings; make infeasible explicitly.
+			lo, hi = 1, 0
+		}
+		p.SetBounds(a, lo, hi)
+	}
 }
 
 // CheckFeasible reports whether any selection satisfies the budget and

@@ -1,6 +1,7 @@
 package lagrange
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"sort"
@@ -72,6 +73,12 @@ type Options struct {
 	MaxNodes int
 	// TimeLimit stops the search after this duration (0 = none).
 	TimeLimit time.Duration
+	// Ctx, when non-nil, cancels the search: the solver checks it
+	// between subgradient iterations and at node boundaries and returns
+	// its current incumbent and bounds once the context is done. This
+	// is the request-deadline path of the daemon — a cancelled HTTP
+	// request stops burning solver time mid-solve.
+	Ctx context.Context
 	// Workers bounds the goroutines evaluating block duals per
 	// subgradient iteration (0 = GOMAXPROCS, 1 = serial). Blocks share
 	// only λ within an iteration, read-only, and the reduction is
@@ -153,9 +160,12 @@ type solver struct {
 	blockVal  []float64
 	blockUses [][]int32
 	scratches []blockScratch
-	// zBasis carries the z-polytope LP basis across subgradient
-	// iterations: the polytope is fixed, only the objective moves, so
-	// each re-solve warm-starts from the previous optimal basis.
+	// zProb is the z-polytope LP, built once and retuned in place each
+	// iteration (only the objective and branching fixings move), and
+	// zBasis the basis carried across its re-solves. Because the
+	// Problem persists, every warm install adopts the previous solve's
+	// factorization snapshot outright — the O(nnz) path of lp.Basis.
+	zProb  *lp.Problem
 	zBasis *lp.Basis
 
 	start time.Time
@@ -498,6 +508,9 @@ func (s *solver) exportLambda() *Multipliers {
 }
 
 func (s *solver) timeUp() bool {
+	if s.opts.Ctx != nil && s.opts.Ctx.Err() != nil {
+		return true
+	}
 	return s.opts.TimeLimit > 0 && time.Since(s.start) > s.opts.TimeLimit
 }
 
@@ -687,10 +700,15 @@ func (s *solver) zSubproblem() (float64, []float64) {
 		return s.fractionalKnapsack(rc)
 	}
 	// The polytope is identical between iterations (only the objective
-	// and, under branching, bounds move), so each re-solve warm-starts
-	// from the previous optimal basis.
-	p := m.zPolytopeLP(rc, s.fixedIn, s.fixedOut)
-	sol := lp.SolveFrom(p, s.zBasis)
+	// and, under branching, bounds move), so the LP is built once,
+	// retuned in place, and each re-solve warm-starts from the previous
+	// optimal basis with its factorization adopted as-is.
+	if s.zProb == nil {
+		s.zProb = m.zPolytopeLP(rc, s.fixedIn, s.fixedOut)
+	} else {
+		m.retuneZPolytope(s.zProb, rc, s.fixedIn, s.fixedOut)
+	}
+	sol := lp.SolveFrom(s.zProb, s.zBasis)
 	if sol.Status == lp.Infeasible {
 		return math.Inf(1), nil
 	}

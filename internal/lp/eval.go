@@ -1,15 +1,33 @@
 package lp
 
-// Clone returns a copy of the problem sharing the (immutable) rows but
-// with independent objective and bounds, so callers can tighten bounds
-// per branch-and-bound node without affecting the original.
+// Clone returns a copy of the problem sharing the (immutable)
+// constraint matrix but with independent objective and bounds, so
+// callers can tighten bounds per branch-and-bound node without
+// affecting the original. The clone keeps the parent's matrix stamp:
+// a Basis factorization captured on either remains adoptable by the
+// other, which is how branch-and-bound children share the parent's
+// factorization across a bound flip.
 func (p *Problem) Clone() *Problem {
 	cp := &Problem{
 		cols: p.cols,
 		obj:  append([]float64(nil), p.obj...),
 		lo:   append([]float64(nil), p.lo...),
 		hi:   append([]float64(nil), p.hi...),
-		rows: p.rows, // rows are append-only and never mutated
+		// The row list and the inner CSC slices are shared (immutable
+		// once written); every shared slice is capacity-clipped so a
+		// later AddRow on either side is forced to reallocate instead
+		// of writing into backing arrays the other still reads.
+		rows:   p.rows[:len(p.rows):len(p.rows)],
+		colRow: make([][]int32, len(p.colRow)),
+		colVal: make([][]float64, len(p.colVal)),
+		nnz:    p.nnz,
+		mid:    p.mid,
+	}
+	for j, v := range p.colRow {
+		cp.colRow[j] = v[:len(v):len(v)]
+	}
+	for j, v := range p.colVal {
+		cp.colVal[j] = v[:len(v):len(v)]
 	}
 	return cp
 }

@@ -4,13 +4,17 @@
 // lagrange) — together they replace the off-the-shelf CPLEX solver of
 // the paper's evaluation.
 //
-// The implementation is a textbook two-phase tableau simplex extended
-// with variable bounds: nonbasic variables rest at either bound, and
-// the ratio test considers the entering variable hitting its opposite
-// bound as well as basic variables hitting either of theirs. Dense
-// tableau storage keeps the code simple and is fully adequate for the
-// model sizes the generic solver handles (the large structured
-// instances go through package lagrange instead).
+// Two implementations share one Problem and one Basis type. The
+// production path (Solve/SolveFrom/SolveWithLimit) is a revised
+// simplex over the problem's sparse column-major store with a
+// product-form basis inverse (see sparse.go): per-iteration work
+// scales with the number of nonzeros, not with m×n, which is the
+// difference that matters for the constraint-rich BIP matrices index
+// tuning produces (±1 coefficients, a handful of nonzeros per row).
+// The original dense two-phase tableau simplex is retained verbatim as
+// a reference oracle (SolveDense/SolveDenseFrom/SolveDenseWithLimit);
+// property tests pin the sparse path's status and objective against it
+// on randomized BIP-shaped instances.
 package lp
 
 import (
@@ -56,24 +60,44 @@ type row struct {
 	rhs   float64
 }
 
+// matrixStamp is an identity token shared by a Problem and its Clones.
+// A Basis's cached factorization (see sparse.go) is only adoptable
+// when the constraint matrix is the one it was factored against; the
+// stamp makes that check O(1) without fingerprinting coefficients.
+type matrixStamp struct{ _ byte }
+
 // Problem is a linear program: minimize Obj·x subject to rows and
-// variable bounds.
+// variable bounds. The constraint matrix is stored twice: row-major
+// (the dense oracle's and the evaluators' natural layout) and as a CSC
+// column store (per-column row-index/value slices, the revised
+// simplex's natural layout). AddRow feeds both, so model builders emit
+// sparse coefficients straight into CSC with no dense intermediate.
 type Problem struct {
 	cols int
 	obj  []float64
 	lo   []float64
 	hi   []float64
 	rows []row
+
+	// CSC store: colRow[j]/colVal[j] hold the row indices (ascending,
+	// AddRow appends monotonically) and values of structural column j.
+	colRow [][]int32
+	colVal [][]float64
+	nnz    int
+	mid    *matrixStamp
 }
 
 // NewProblem returns a problem with the given number of structural
 // variables, all bounded to [0, +∞) with zero objective.
 func NewProblem(cols int) *Problem {
 	p := &Problem{
-		cols: cols,
-		obj:  make([]float64, cols),
-		lo:   make([]float64, cols),
-		hi:   make([]float64, cols),
+		cols:   cols,
+		obj:    make([]float64, cols),
+		lo:     make([]float64, cols),
+		hi:     make([]float64, cols),
+		colRow: make([][]int32, cols),
+		colVal: make([][]float64, cols),
+		mid:    &matrixStamp{},
 	}
 	for j := range p.hi {
 		p.hi[j] = math.Inf(1)
@@ -100,24 +124,41 @@ func (p *Problem) SetBounds(j int, lo, hi float64) {
 func (p *Problem) Bounds(j int) (lo, hi float64) { return p.lo[j], p.hi[j] }
 
 // AddRow appends the constraint Σ coefs ⋈ rhs and returns its index.
-// Coefficients with duplicate columns are summed.
+// Coefficients with duplicate columns are summed. Each coefficient is
+// appended to its column's CSC slice as well, keeping the column store
+// in sync with no transposition pass.
 func (p *Problem) AddRow(coefs []Coef, sense Sense, rhs float64) int {
+	i := int32(len(p.rows))
 	cp := make([]Coef, 0, len(coefs))
 	seen := make(map[int]int, len(coefs))
 	for _, c := range coefs {
 		if c.Col < 0 || c.Col >= p.cols {
 			panic(fmt.Sprintf("lp: column %d out of range", c.Col))
 		}
-		if i, dup := seen[c.Col]; dup {
-			cp[i].Val += c.Val
+		if k, dup := seen[c.Col]; dup {
+			cp[k].Val += c.Val
+			// The duplicate was already appended to the column store;
+			// update it in place (it is this row's tail entry).
+			tail := len(p.colVal[c.Col]) - 1
+			p.colVal[c.Col][tail] += c.Val
 			continue
 		}
 		seen[c.Col] = len(cp)
 		cp = append(cp, c)
+		p.colRow[c.Col] = append(p.colRow[c.Col], i)
+		p.colVal[c.Col] = append(p.colVal[c.Col], c.Val)
+		p.nnz++
 	}
 	p.rows = append(p.rows, row{coefs: cp, sense: sense, rhs: rhs})
+	// The matrix changed: refresh the stamp so factorizations captured
+	// against the old shape (or against a Clone that has since
+	// diverged) are no longer adoptable.
+	p.mid = &matrixStamp{}
 	return len(p.rows) - 1
 }
+
+// NNZ returns the number of structural nonzeros.
+func (p *Problem) NNZ() int { return p.nnz }
 
 // Status reports the outcome of a solve.
 type Status int
@@ -171,9 +212,19 @@ type Solution struct {
 // Lagrangian z subproblem changes only its objective between
 // iterations, so re-solves that start from the parent basis pivot from
 // a near-optimal point instead of running Phase 1 from scratch.
+//
+// A basis captured by the sparse path additionally carries a snapshot
+// of the basis factorization (the eta file of the product-form
+// inverse). Because the basis matrix depends only on which columns are
+// basic — never on bounds or the objective — a re-solve on the same
+// constraint matrix (a branch-and-bound child after a bound flip, the
+// z subproblem after an objective change) adopts the factorization
+// outright and installs the warm start in O(nnz), where the dense
+// tableau re-pivots in O(m·n) per row.
 type Basis struct {
 	cols []int  // basic column per row (structural/slack; -1 = row's own slack)
 	atHi []bool // nonbasic-at-upper flag per structural/slack column
+	fac  *facSnapshot
 }
 
 const (
@@ -182,18 +233,39 @@ const (
 )
 
 // Solve optimizes the problem with the bounded-variable two-phase
-// simplex method.
+// revised simplex method over the sparse column store.
 func Solve(p *Problem) Solution {
 	return SolveFrom(p, nil)
 }
 
 // SolveFrom is Solve starting from a warm basis (nil = cold start).
 func SolveFrom(p *Problem, warm *Basis) Solution {
-	return solveFrom(p, 20000+50*(p.cols+len(p.rows)), warm)
+	return solveSparse(p, defaultIterBudget(p), warm)
 }
 
-// SolveWithLimit is Solve with an explicit pivot budget.
+// SolveWithLimit is Solve with an explicit pivot budget (applied to
+// each simplex phase, mirroring the dense oracle's accounting).
 func SolveWithLimit(p *Problem, maxIters int) Solution {
+	return solveSparse(p, maxIters, nil)
+}
+
+func defaultIterBudget(p *Problem) int {
+	return 20000 + 50*(p.cols+len(p.rows))
+}
+
+// SolveDense optimizes the problem with the dense two-phase tableau
+// simplex — the reference oracle the sparse path is pinned against.
+func SolveDense(p *Problem) Solution {
+	return SolveDenseFrom(p, nil)
+}
+
+// SolveDenseFrom is SolveDense starting from a warm basis.
+func SolveDenseFrom(p *Problem, warm *Basis) Solution {
+	return solveFrom(p, defaultIterBudget(p), warm)
+}
+
+// SolveDenseWithLimit is SolveDense with an explicit pivot budget.
+func SolveDenseWithLimit(p *Problem, maxIters int) Solution {
 	return solveFrom(p, maxIters, nil)
 }
 

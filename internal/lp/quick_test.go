@@ -103,6 +103,31 @@ func TestCloneIndependence(t *testing.T) {
 	}
 }
 
+// TestCloneAddRowNoAliasing: appending rows to both a problem and its
+// clone must not let either write into backing arrays the other reads
+// (the CSC inner slices are shared but capacity-clipped on Clone).
+func TestCloneAddRowNoAliasing(t *testing.T) {
+	p := NewProblem(1)
+	for i := 0; i < 3; i++ { // leave spare capacity in column 0's slices
+		p.AddRow([]Coef{{Col: 0, Val: float64(i + 1)}}, LE, 10)
+	}
+	q := p.Clone()
+	p.AddRow([]Coef{{Col: 0, Val: 7}}, LE, 7)
+	q.AddRow([]Coef{{Col: 0, Val: -9}}, GE, -9)
+	if got := p.colVal[0][3]; got != 7 {
+		t.Fatalf("clone append corrupted parent CSC: colVal[0][3] = %v, want 7", got)
+	}
+	if got := q.colVal[0][3]; got != -9 {
+		t.Fatalf("parent append corrupted clone CSC: colVal[0][3] = %v, want -9", got)
+	}
+	if s, r := p.RowSense(3); s != LE || r != 7 {
+		t.Fatalf("parent row 3 corrupted: %v %v", s, r)
+	}
+	if s, r := q.RowSense(3); s != GE || r != -9 {
+		t.Fatalf("clone row 3 corrupted: %v %v", s, r)
+	}
+}
+
 // TestRowAccessors cover RowActivity/RowSense/RowCoefs.
 func TestRowAccessors(t *testing.T) {
 	p := NewProblem(2)

@@ -1,0 +1,875 @@
+package lp
+
+// Revised simplex over the problem's CSC column store.
+//
+// Where the dense tableau maintains the full eliminated matrix B⁻¹A
+// and pays O(m·(n+m)) per pivot, this implementation keeps only the
+// basis inverse, represented in product form: an ordered file of eta
+// vectors, each recording one pivot's column of the elementary
+// transformation. One iteration costs
+//
+//	BTRAN  (duals y = c_B·B⁻¹)        O(Σ eta nnz + m)
+//	pricing (d_j = c_j − y·A_j)        O(nnz(A) + n)
+//	FTRAN  (w = B⁻¹·A_enter)           O(Σ eta nnz + nnz(A_enter))
+//	update (basic values, eta append)  O(nnz(w))
+//
+// which for the BIP matrices above this package (±1 coefficients, a
+// handful of nonzeros per row) is orders of magnitude below the dense
+// pivot. The eta file is rebuilt from scratch (refactorization) every
+// refactorEvery pivots or when fill-in outgrows the matrix, which also
+// recomputes the basic values exactly and bounds numerical drift.
+//
+// Warm starts: a Basis captured here snapshots the eta file. A
+// re-solve over the same constraint matrix (same matrixStamp, same
+// dimensions, same basic columns — bounds and objective free to
+// differ) adopts the snapshot and skips installation pivots entirely;
+// otherwise the basis is reinstalled by factoring its columns in
+// sparsity order, still never touching a dense m×n tableau.
+
+import "math"
+
+// eta is one elementary transformation of the product-form inverse:
+// the pivot column w = B⁻¹·A_enter recorded at pivot row r. Applying
+// its inverse to v sets v_r ← v_r/pr and v_i ← v_i − val_k·v_r for the
+// off-pivot entries. Etas are immutable once appended; snapshots share
+// them freely.
+type eta struct {
+	r   int32
+	pr  float64
+	idx []int32
+	val []float64
+}
+
+// facSnapshot is the reusable factorization a captured Basis carries:
+// the eta file and the row→column assignment it realizes, keyed by the
+// matrix stamp it was factored against.
+type facSnapshot struct {
+	mid  *matrixStamp
+	m, n int
+	cols []int
+	etas []eta
+	nnz  int
+}
+
+const (
+	// refactorEvery bounds the eta file length between rebuilds.
+	refactorEvery = 64
+	// etaDropTol discards negligible eta entries (fill-in control).
+	etaDropTol = 1e-11
+)
+
+// statusNumeric is an internal sentinel: a mid-solve refactorization
+// could not reproduce a feasible basis (a dependent column was
+// dropped, or the exact basic-value recompute exposed violations).
+// solveSparse responds by handing the whole problem to the dense
+// oracle rather than ever returning Optimal on an infeasible point.
+const statusNumeric Status = -1
+
+// spx is the revised-simplex working state.
+type spx struct {
+	p    *Problem
+	m    int // rows
+	n    int // structural + slack columns
+	nArt int
+
+	lo, hi []float64 // per column, artificials included
+	x      []float64 // resting value per nonbasic column
+	atHi   []bool
+	basis  []int  // basic column per row
+	inB    []bool // per column: currently basic?
+	xB     []float64
+	b      []float64
+
+	etas   []eta
+	etaNNZ int
+	pivots int // pivots since the last refactorization
+	// Artificial k's column is artSign[k]·A_{artCol[k]} — the signed
+	// alias of the basic column it displaced, which is the original-
+	// coordinate form of the dense oracle's eliminated-frame e_i (see
+	// phase1). artCol never references another artificial.
+	artCol  []int
+	artSign []float64
+
+	// scratch buffers, reused across iterations.
+	w     []float64
+	touch []int32
+	y     []float64
+	obj   []float64
+}
+
+func solveSparse(p *Problem, maxIters int, warm *Basis) Solution {
+	s := newSpx(p)
+	s.install(warm)
+	st, iters1 := s.phase1(maxIters)
+	if st == statusNumeric {
+		return solveFrom(p, maxIters, warm)
+	}
+	if st != Optimal {
+		return Solution{Status: st, Iters: iters1}
+	}
+	st, iters2 := s.phase2(maxIters)
+	if st == statusNumeric {
+		return solveFrom(p, maxIters, warm)
+	}
+	x := s.extract()
+	obj := 0.0
+	for j := 0; j < p.cols; j++ {
+		obj += p.obj[j] * x[j]
+	}
+	return Solution{Status: st, X: x, Obj: obj, Iters: iters1 + iters2, Basis: s.captureBasis()}
+}
+
+func newSpx(p *Problem) *spx {
+	m := len(p.rows)
+	n := p.cols + m
+	s := &spx{p: p, m: m, n: n}
+
+	s.lo = make([]float64, n)
+	s.hi = make([]float64, n)
+	copy(s.lo, p.lo)
+	copy(s.hi, p.hi)
+	s.b = make([]float64, m)
+	for i, r := range p.rows {
+		j := p.cols + i
+		switch r.sense {
+		case LE:
+			s.lo[j], s.hi[j] = 0, math.Inf(1)
+		case GE:
+			s.lo[j], s.hi[j] = math.Inf(-1), 0
+		case EQ:
+			s.lo[j], s.hi[j] = 0, 0
+		}
+		s.b[i] = r.rhs
+	}
+
+	// Nonbasic structural variables rest at their finite bound nearest
+	// zero (the dense oracle's rule); slacks form the initial basis.
+	s.x = make([]float64, n)
+	s.atHi = make([]bool, n)
+	for j := 0; j < p.cols; j++ {
+		switch {
+		case !math.IsInf(s.lo[j], 0) && (s.lo[j] >= 0 || math.IsInf(s.hi[j], 0)):
+			s.x[j] = s.lo[j]
+		case !math.IsInf(s.hi[j], 0):
+			s.x[j] = s.hi[j]
+			s.atHi[j] = true
+		default:
+			s.x[j] = 0
+		}
+	}
+	s.basis = make([]int, m)
+	s.inB = make([]bool, n)
+	for i := 0; i < m; i++ {
+		s.basis[i] = p.cols + i
+		s.inB[p.cols+i] = true
+	}
+	s.xB = make([]float64, m)
+	s.w = make([]float64, m)
+	s.y = make([]float64, m)
+	s.obj = make([]float64, n)
+	return s
+}
+
+// colScatter writes column j into the (zeroed) scratch w and returns
+// the touched row list.
+func (s *spx) colScatter(j int, touch []int32) []int32 {
+	switch {
+	case j < s.p.cols:
+		rows, vals := s.p.colRow[j], s.p.colVal[j]
+		for k, r := range rows {
+			s.w[r] = vals[k]
+			touch = append(touch, r)
+		}
+	case j < s.n:
+		r := int32(j - s.p.cols)
+		s.w[r] = 1
+		touch = append(touch, r)
+	default:
+		k := j - s.n
+		sign := s.artSign[k]
+		if ref := s.artCol[k]; ref < s.p.cols {
+			rows, vals := s.p.colRow[ref], s.p.colVal[ref]
+			for kk, r := range rows {
+				s.w[r] = sign * vals[kk]
+				touch = append(touch, r)
+			}
+		} else {
+			r := int32(ref - s.p.cols)
+			s.w[r] = sign
+			touch = append(touch, r)
+		}
+	}
+	return touch
+}
+
+// colDot returns Σ_i y_i·a_ij without materializing the column.
+func (s *spx) colDot(j int, y []float64) float64 {
+	switch {
+	case j < s.p.cols:
+		rows, vals := s.p.colRow[j], s.p.colVal[j]
+		var sum float64
+		for k, r := range rows {
+			sum += vals[k] * y[r]
+		}
+		return sum
+	case j < s.n:
+		return y[j-s.p.cols]
+	default:
+		k := j - s.n
+		if ref := s.artCol[k]; ref < s.p.cols {
+			rows, vals := s.p.colRow[ref], s.p.colVal[ref]
+			var sum float64
+			for kk, r := range rows {
+				sum += vals[kk] * y[r]
+			}
+			return s.artSign[k] * sum
+		} else {
+			return s.artSign[k] * y[ref-s.p.cols]
+		}
+	}
+}
+
+// ftran applies B⁻¹ to the scratch w in place. touch lists the rows
+// that may be nonzero; rows newly filled in are appended (possibly
+// with duplicates — consumers must treat touch idempotently or
+// consume-and-zero entries as they go).
+func (s *spx) ftran(touch []int32) []int32 {
+	for ei := range s.etas {
+		e := &s.etas[ei]
+		t := s.w[e.r]
+		if t == 0 {
+			continue
+		}
+		t /= e.pr
+		s.w[e.r] = t
+		for k, i := range e.idx {
+			if s.w[i] == 0 {
+				touch = append(touch, i)
+			}
+			s.w[i] -= e.val[k] * t
+		}
+	}
+	return touch
+}
+
+// btran applies B⁻¹ from the left: y ← y·B⁻¹ (etas in reverse).
+func (s *spx) btran(y []float64) {
+	for t := len(s.etas) - 1; t >= 0; t-- {
+		e := &s.etas[t]
+		acc := y[e.r]
+		for k, i := range e.idx {
+			acc -= e.val[k] * y[i]
+		}
+		y[e.r] = acc / e.pr
+	}
+}
+
+// clearW zeroes the scratch via its touch list.
+func (s *spx) clearW(touch []int32) {
+	for _, i := range touch {
+		s.w[i] = 0
+	}
+}
+
+// appendEta records the current scratch w as an eta at pivot row r,
+// consuming (zeroing) w through touch.
+func (s *spx) appendEta(r int32, touch []int32) {
+	pr := s.w[r]
+	s.w[r] = 0
+	var idx []int32
+	var val []float64
+	for _, i := range touch {
+		v := s.w[i]
+		if v == 0 {
+			continue
+		}
+		s.w[i] = 0
+		if math.Abs(v) > etaDropTol {
+			idx = append(idx, i)
+			val = append(val, v)
+		}
+	}
+	if pr == 1 && len(idx) == 0 {
+		return // identity transformation
+	}
+	s.etas = append(s.etas, eta{r: r, pr: pr, idx: idx, val: val})
+	s.etaNNZ += len(idx) + 1
+}
+
+// computeXB recomputes the basic values exactly:
+// x_B = B⁻¹·(b − Σ_{nonbasic j} A_j·x_j).
+func (s *spx) computeXB() {
+	v := make([]float64, s.m)
+	copy(v, s.b)
+	total := s.n + s.nArt
+	for j := 0; j < total; j++ {
+		if s.inB[j] || s.x[j] == 0 {
+			continue
+		}
+		xj := s.x[j]
+		switch {
+		case j < s.p.cols:
+			rows, vals := s.p.colRow[j], s.p.colVal[j]
+			for k, r := range rows {
+				v[r] -= vals[k] * xj
+			}
+		case j < s.n:
+			v[j-s.p.cols] -= xj
+		default:
+			k := j - s.n
+			sign := s.artSign[k]
+			if ref := s.artCol[k]; ref < s.p.cols {
+				rows, vals := s.p.colRow[ref], s.p.colVal[ref]
+				for kk, r := range rows {
+					v[r] -= sign * vals[kk] * xj
+				}
+			} else {
+				v[ref-s.p.cols] -= sign * xj
+			}
+		}
+	}
+	// Dense FTRAN of the full vector (no touch bookkeeping needed).
+	for ei := range s.etas {
+		e := &s.etas[ei]
+		t := v[e.r]
+		if t == 0 {
+			continue
+		}
+		t /= e.pr
+		v[e.r] = t
+		for k, i := range e.idx {
+			v[i] -= e.val[k] * t
+		}
+	}
+	copy(s.xB, v)
+}
+
+// install establishes the starting point. With no warm basis the slack
+// basis stands (B = I, empty eta file). With one, nonbasic columns
+// move to their recorded bounds, and the recorded basis is either
+// adopted wholesale — same matrix stamp and basic columns mean the
+// factorization snapshot applies verbatim, the O(nnz) path — or
+// reinstalled by factoring its columns from scratch.
+func (s *spx) install(warm *Basis) {
+	if warm == nil || len(warm.cols) != s.m || len(warm.atHi) != s.n {
+		s.computeXB()
+		return
+	}
+	copy(s.atHi, warm.atHi)
+	for j := 0; j < s.n; j++ {
+		switch {
+		case s.atHi[j] && !math.IsInf(s.hi[j], 0):
+			s.x[j] = s.hi[j]
+		case !math.IsInf(s.lo[j], 0):
+			s.x[j] = s.lo[j]
+			s.atHi[j] = false
+		case !math.IsInf(s.hi[j], 0):
+			s.x[j] = s.hi[j]
+			s.atHi[j] = true
+		default:
+			s.x[j] = 0
+			s.atHi[j] = false
+		}
+	}
+
+	// Resolve the target columns: -1 and duplicates fall back to the
+	// row's own slack, mirroring the dense installer.
+	target := make([]int, s.m)
+	used := make([]bool, s.n)
+	for i, col := range warm.cols {
+		if col < 0 || col >= s.n || used[col] {
+			col = s.p.cols + i
+			if used[col] {
+				col = -1 // resolved by the factoring fallback below
+			}
+		}
+		target[i] = col
+		if col >= 0 {
+			used[col] = true
+		}
+	}
+
+	adopted := false
+	if f := warm.fac; f != nil && f.mid == s.p.mid && f.m == s.m && f.n == s.n && equalInts(f.cols, target) {
+		s.etas = append(s.etas[:0], f.etas...)
+		s.etaNNZ = f.nnz
+		copy(s.basis, f.cols)
+		adopted = true
+	}
+	if !adopted {
+		s.reinstall(target)
+	}
+	for j := range s.inB {
+		s.inB[j] = false
+	}
+	for _, j := range s.basis {
+		s.inB[j] = true
+	}
+	s.computeXB()
+}
+
+// reinstall factors the target basis from scratch: columns are pivoted
+// in ascending-sparsity order, each FTRANed through the partial eta
+// file and assigned the unpivoted row where it is largest. Columns
+// that have gone numerically dependent are dropped; unfilled rows fall
+// back to unused slacks (always completable — the slacks alone span).
+func (s *spx) reinstall(target []int) {
+	s.etas = s.etas[:0]
+	s.etaNNZ = 0
+	s.pivots = 0
+
+	colNNZ := func(j int) int {
+		if j < s.p.cols {
+			return len(s.p.colRow[j])
+		}
+		return 1
+	}
+	// Insertion-sort the candidate columns by sparsity (m is moderate
+	// and the lists are near-sorted in practice).
+	cols := make([]int, 0, s.m)
+	for _, j := range target {
+		if j >= 0 {
+			cols = append(cols, j)
+		}
+	}
+	for i := 1; i < len(cols); i++ {
+		for k := i; k > 0 && colNNZ(cols[k]) < colNNZ(cols[k-1]); k-- {
+			cols[k], cols[k-1] = cols[k-1], cols[k]
+		}
+	}
+
+	assigned := make([]bool, s.m)
+	placed := make([]bool, s.n+s.nArt)
+	for i := range s.basis {
+		s.basis[i] = -1
+	}
+	pivotIn := func(j int) {
+		touch := s.colScatter(j, s.touch[:0])
+		touch = s.ftran(touch)
+		r, best := int32(-1), pivotEps
+		for _, i := range touch {
+			if assigned[i] {
+				continue
+			}
+			if a := math.Abs(s.w[i]); a > best {
+				r, best = i, a
+			}
+		}
+		if r < 0 {
+			s.clearW(touch)
+			s.touch = touch
+			return // dependent (or negligible) column: drop it
+		}
+		s.appendEta(r, touch)
+		s.touch = touch
+		assigned[r] = true
+		placed[j] = true
+		s.basis[r] = j
+	}
+	for _, j := range cols {
+		pivotIn(j)
+	}
+	for i := 0; i < s.m; i++ {
+		if assigned[i] {
+			continue
+		}
+		if j := s.p.cols + i; !placed[j] {
+			pivotIn(j)
+		}
+	}
+	for i := 0; i < s.m; i++ { // any rows still open take any unused slack
+		if assigned[i] {
+			continue
+		}
+		for k := 0; k < s.m; k++ {
+			if j := s.p.cols + k; !placed[j] {
+				pivotIn(j)
+				break
+			}
+		}
+	}
+	for i := 0; i < s.m; i++ {
+		if s.basis[i] < 0 {
+			// Numerically defeated: restart from the slack basis.
+			s.etas = s.etas[:0]
+			s.etaNNZ = 0
+			for r := 0; r < s.m; r++ {
+				s.basis[r] = s.p.cols + r
+			}
+			return
+		}
+	}
+}
+
+// sameBasisSet reports whether two basis assignments hold the same
+// columns (the row association is free to permute across a
+// refactorization; only the column set defines the basis matrix).
+func sameBasisSet(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	seen := make(map[int]int, len(a))
+	for _, j := range a {
+		seen[j]++
+	}
+	for _, j := range b {
+		if seen[j] == 0 {
+			return false
+		}
+		seen[j]--
+	}
+	return true
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// phase1 restores feasibility. A row whose basic value violates its
+// bounds has that variable pinned at the bound it violated toward and
+// replaced by an artificial, then the sum of artificials is minimized.
+//
+// The artificial for row i is σ·A_old — the signed alias of the column
+// it displaces. This is the original-coordinate form of the dense
+// oracle's "+1 in row i of the eliminated tableau" (e_i in the
+// eliminated frame is B·e_i = A_old in original coordinates): its
+// FTRAN is exactly σ·e_i, so the insertion pivot is trivial and, like
+// the dense version, perfectly row-local — inserting one row's
+// artificial never perturbs another row's basic value, which keeps the
+// violation snapshot taken above consistent for every row.
+func (s *spx) phase1(maxIters int) (Status, int) {
+	var artRows []int
+	for i := 0; i < s.m; i++ {
+		j := s.basis[i]
+		if s.xB[i] < s.lo[j]-eps || s.xB[i] > s.hi[j]+eps {
+			artRows = append(artRows, i)
+		}
+	}
+	if len(artRows) == 0 {
+		return Optimal, 0
+	}
+
+	s.nArt = len(artRows)
+	s.artCol = make([]int, 0, s.nArt)
+	s.artSign = make([]float64, 0, s.nArt)
+	s.lo = append(s.lo, make([]float64, s.nArt)...)
+	s.hi = append(s.hi, make([]float64, s.nArt)...)
+	s.x = append(s.x, make([]float64, s.nArt)...)
+	s.atHi = append(s.atHi, make([]bool, s.nArt)...)
+	s.inB = append(s.inB, make([]bool, s.nArt)...)
+	s.obj = append(s.obj, make([]float64, s.nArt)...)
+
+	for k, i := range artRows {
+		old := s.basis[i]
+		var pin float64
+		var toHi bool
+		if s.xB[i] < s.lo[old] {
+			pin, toHi = s.lo[old], false
+		} else {
+			pin, toHi = s.hi[old], true
+		}
+		if math.IsInf(pin, 0) {
+			pin = 0
+		}
+
+		// σ makes the artificial's starting value t nonnegative:
+		// w = B⁻¹(σ·A_old) = σ·e_i, t = (x_Bi − pin)/σ.
+		sigma := 1.0
+		if s.xB[i]-pin < 0 {
+			sigma = -1
+		}
+		t := (s.xB[i] - pin) / sigma
+
+		j := s.n + k
+		s.artCol = append(s.artCol, old)
+		s.artSign = append(s.artSign, sigma)
+		s.lo[j], s.hi[j] = 0, math.Inf(1)
+		s.obj[j] = 1
+		if sigma != 1 {
+			s.etas = append(s.etas, eta{r: int32(i), pr: sigma})
+			s.etaNNZ++
+		}
+
+		s.x[old] = pin
+		s.atHi[old] = toHi
+		s.inB[old] = false
+		s.basis[i] = j
+		s.inB[j] = true
+		s.xB[i] = t
+	}
+
+	for j := 0; j < s.n; j++ {
+		s.obj[j] = 0
+	}
+	for k := 0; k < s.nArt; k++ {
+		s.obj[s.n+k] = 1
+	}
+	st, iters := s.iterate(maxIters)
+	if st == statusNumeric {
+		return statusNumeric, iters
+	}
+	if st == Unbounded {
+		// Minimizing nonnegative artificials cannot be unbounded; treat
+		// as numeric failure, like the dense oracle.
+		return Infeasible, iters
+	}
+	if st == IterLimit {
+		return IterLimit, iters
+	}
+	for k := 0; k < s.nArt; k++ {
+		j := s.n + k
+		v := s.x[j]
+		if s.inB[j] {
+			for i, bj := range s.basis {
+				if bj == j {
+					v = s.xB[i]
+					break
+				}
+			}
+		}
+		if v > 1e-6 {
+			return Infeasible, iters
+		}
+	}
+	// Freeze artificials at zero so phase 2 cannot reuse them.
+	for k := 0; k < s.nArt; k++ {
+		j := s.n + k
+		s.lo[j], s.hi[j] = 0, 0
+	}
+	return Optimal, iters
+}
+
+func (s *spx) phase2(maxIters int) (Status, int) {
+	for j := 0; j < s.p.cols; j++ {
+		s.obj[j] = s.p.obj[j]
+	}
+	for j := s.p.cols; j < s.n+s.nArt; j++ {
+		s.obj[j] = 0
+	}
+	return s.iterate(maxIters)
+}
+
+// iterate runs revised-simplex pivots until optimality for the
+// current objective, mirroring the dense oracle's pricing and ratio
+// rules (Dantzig scores with a Bland fallback past half the budget).
+func (s *spx) iterate(maxIters int) (Status, int) {
+	total := s.n + s.nArt
+	iters := 0
+	for ; iters < maxIters; iters++ {
+		if s.pivots >= refactorEvery || s.etaNNZ > 4*s.m+2*s.p.nnz+64 {
+			before := append([]int(nil), s.basis...)
+			s.reinstall(before)
+			for j := range s.inB {
+				s.inB[j] = false
+			}
+			for _, j := range s.basis {
+				s.inB[j] = true
+			}
+			s.computeXB()
+			// A refactorization of the *current* basis must reproduce
+			// it; a dropped column or a bound violation in the exact
+			// basic-value recompute means the eta file had degraded —
+			// surface it instead of iterating on an infeasible point.
+			if !sameBasisSet(before, s.basis) {
+				return statusNumeric, iters
+			}
+			for i := 0; i < s.m; i++ {
+				j := s.basis[i]
+				if s.xB[i] < s.lo[j]-1e-6 || s.xB[i] > s.hi[j]+1e-6 {
+					return statusNumeric, iters
+				}
+			}
+		}
+
+		// Duals: y = c_B·B⁻¹.
+		for i := 0; i < s.m; i++ {
+			s.y[i] = s.obj[s.basis[i]]
+		}
+		s.btran(s.y)
+
+		// Pricing.
+		enter := -1
+		var enterDir float64
+		bestScore := eps
+		useBland := iters > maxIters/2
+		for j := 0; j < total; j++ {
+			if s.inB[j] || s.lo[j] == s.hi[j] {
+				continue
+			}
+			d := s.obj[j] - s.colDot(j, s.y)
+			var score, dir float64
+			switch {
+			case !s.atHi[j] && d < -eps:
+				score, dir = -d, 1
+			case s.atHi[j] && d > eps:
+				score, dir = d, -1
+			case math.IsInf(s.lo[j], 0) && math.IsInf(s.hi[j], 0) && d > eps:
+				score, dir = d, -1
+			default:
+				continue
+			}
+			if useBland {
+				enter, enterDir = j, dir
+				break
+			}
+			if score > bestScore {
+				bestScore, enter, enterDir = score, j, dir
+			}
+		}
+		if enter == -1 {
+			return Optimal, iters
+		}
+
+		// FTRAN the entering column.
+		touch := s.colScatter(enter, s.touch[:0])
+		touch = s.ftran(touch)
+
+		// Ratio test (idempotent over possible duplicate touches).
+		limit := math.Inf(1)
+		if !math.IsInf(s.hi[enter], 0) && !math.IsInf(s.lo[enter], 0) {
+			limit = s.hi[enter] - s.lo[enter]
+		}
+		leave := int32(-1)
+		leaveToHi := false
+		for _, i := range touch {
+			coef := s.w[i] * enterDir
+			if math.Abs(coef) < pivotEps {
+				continue
+			}
+			bj := s.basis[i]
+			v := s.xB[i]
+			if coef > 0 {
+				if math.IsInf(s.lo[bj], 0) {
+					continue
+				}
+				if room := (v - s.lo[bj]) / coef; room < limit-eps {
+					limit, leave, leaveToHi = room, i, false
+				}
+			} else {
+				if math.IsInf(s.hi[bj], 0) {
+					continue
+				}
+				if room := (v - s.hi[bj]) / coef; room < limit-eps {
+					limit, leave, leaveToHi = room, i, true
+				}
+			}
+		}
+		if math.IsInf(limit, 1) {
+			s.clearW(touch)
+			s.touch = touch
+			return Unbounded, iters
+		}
+		if limit < 0 {
+			limit = 0
+		}
+
+		if leave == -1 {
+			// Bound flip: basis unchanged, basic values shift.
+			for _, i := range touch {
+				v := s.w[i]
+				if v == 0 {
+					continue
+				}
+				s.w[i] = 0
+				s.xB[i] -= enterDir * limit * v
+			}
+			s.touch = touch
+			s.atHi[enter] = !s.atHi[enter]
+			if s.atHi[enter] {
+				s.x[enter] = s.hi[enter]
+			} else {
+				s.x[enter] = s.lo[enter]
+			}
+			continue
+		}
+
+		// Pivot: entering becomes basic at row `leave`.
+		out := s.basis[leave]
+		enterVal := s.x[enter] + enterDir*limit
+		pr := s.w[leave]
+		var idx []int32
+		var val []float64
+		s.w[leave] = 0
+		for _, i := range touch {
+			v := s.w[i]
+			if v == 0 {
+				continue
+			}
+			s.w[i] = 0
+			s.xB[i] -= enterDir * limit * v
+			if math.Abs(v) > etaDropTol {
+				idx = append(idx, i)
+				val = append(val, v)
+			}
+		}
+		s.touch = touch
+		s.etas = append(s.etas, eta{r: leave, pr: pr, idx: idx, val: val})
+		s.etaNNZ += len(idx) + 1
+		s.pivots++
+
+		s.basis[leave] = enter
+		s.inB[enter] = true
+		s.inB[out] = false
+		s.xB[leave] = enterVal
+		s.atHi[out] = leaveToHi
+		if leaveToHi {
+			s.x[out] = s.hi[out]
+		} else {
+			s.x[out] = s.lo[out]
+		}
+		if math.IsInf(s.x[out], 0) {
+			s.x[out] = 0
+		}
+	}
+	return IterLimit, iters
+}
+
+// extract returns the structural variable values.
+func (s *spx) extract() []float64 {
+	out := make([]float64, s.p.cols)
+	copy(out, s.x[:s.p.cols])
+	for i, j := range s.basis {
+		if j < s.p.cols {
+			out[j] = s.xB[i]
+		}
+	}
+	return out
+}
+
+// captureBasis snapshots the final basis. Artificial columns (possible
+// only after a degenerate phase 1) map to the row's slack and suppress
+// the factorization snapshot; at-upper flags of basic columns are
+// normalized to false, mirroring the dense oracle.
+func (s *spx) captureBasis() *Basis {
+	b := &Basis{cols: make([]int, s.m), atHi: make([]bool, s.n)}
+	copy(b.atHi, s.atHi[:s.n])
+	hasArt := false
+	for i, j := range s.basis {
+		if j >= s.n {
+			b.cols[i] = -1
+			hasArt = true
+		} else {
+			b.cols[i] = j
+			b.atHi[j] = false
+		}
+	}
+	if !hasArt {
+		b.fac = &facSnapshot{
+			mid:  s.p.mid,
+			m:    s.m,
+			n:    s.n,
+			cols: append([]int(nil), s.basis...),
+			etas: append([]eta(nil), s.etas...),
+			nnz:  s.etaNNZ,
+		}
+	}
+	return b
+}

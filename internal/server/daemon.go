@@ -10,10 +10,13 @@
 package server
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/cophy"
@@ -21,6 +24,11 @@ import (
 	"repro/internal/tpch"
 	"repro/internal/workload"
 )
+
+// ErrTooManyCandidates is returned (wrapped) by Recommend when the
+// candidate set the request would solve over exceeds the configured
+// cap; the HTTP layer maps it to 413.
+var ErrTooManyCandidates = errors.New("candidate set exceeds the configured cap")
 
 // Config assembles a daemon.
 type Config struct {
@@ -39,28 +47,55 @@ type Config struct {
 	// MinWeight is the eviction threshold for decayed statements
 	// (default 1e-3).
 	MinWeight float64
+	// RequestTimeout bounds each recommendation request: the handler
+	// derives a context deadline from it and the session solve inherits
+	// the remaining time as its TimeLimit. Zero means unbounded.
+	RequestTimeout time.Duration
+	// MaxCandidates caps the candidate set a /recommend request may
+	// solve over (the session's existing candidates plus the request's
+	// new ones). Zero means uncapped. Exceeding it answers 413.
+	MaxCandidates int
 }
 
 // Daemon is the service core. All exported methods are safe for
 // concurrent use: WhatIf runs lock-free over the sharded INUM cache,
 // Ingest serializes only on the stream's own mutex, and Recommend
-// serializes recommendations on the session mutex.
+// serializes recommendations on the session semaphore — a channel
+// rather than a mutex, so a caller whose context dies while another
+// recommendation runs gives up immediately instead of queueing on the
+// lock.
 type Daemon struct {
-	cat      *catalog.Catalog
-	eng      *engine.Engine
-	ad       *cophy.Advisor
-	cgen     cophy.CGenOptions
-	stream   *workload.Stream
-	baseline *engine.Config
+	cat           *catalog.Catalog
+	eng           *engine.Engine
+	ad            *cophy.Advisor
+	cgen          cophy.CGenOptions
+	stream        *workload.Stream
+	baseline      *engine.Config
+	reqTimeout    time.Duration
+	maxCandidates int
 
-	// mu guards the session.
-	mu      sync.Mutex
+	// sem (capacity 1) guards the session.
+	sem     chan struct{}
 	session *cophy.Session
+
+	// wiMu guards the what-if entry FIFO: the "whatif-<hash>" INUM
+	// entries are keyed by statement content, not stream ID, so the
+	// stream's eviction hook never sees them — they are bounded here
+	// instead, oldest-first.
+	wiMu    sync.Mutex
+	wiSeen  map[string]bool
+	wiOrder []string
 
 	ingested   atomic.Int64
 	whatifs    atomic.Int64
 	recommends atomic.Int64
+	evicted    atomic.Int64
+	rebases    atomic.Int64
 }
+
+// maxWhatIfEntries caps the distinct what-if statements whose template
+// plans stay cached; beyond it the oldest entry is evicted.
+const maxWhatIfEntries = 4096
 
 // New builds a daemon over the given system.
 func New(cfg Config) (*Daemon, error) {
@@ -78,13 +113,23 @@ func New(cfg Config) (*Daemon, error) {
 		cfg.CGen = cophy.CGenOptions{Covering: true} // untuned: defaults
 	}
 	d := &Daemon{
-		cat:      cfg.Catalog,
-		eng:      cfg.Engine,
-		ad:       cophy.NewAdvisor(cfg.Catalog, cfg.Engine, cfg.Advisor),
-		cgen:     cfg.CGen,
-		stream:   workload.NewStream(workload.StreamConfig{HalfLife: halfLife, MinWeight: cfg.MinWeight}),
-		baseline: engine.NewConfig(tpch.BaselineIndexes(cfg.Catalog)...),
+		cat:           cfg.Catalog,
+		eng:           cfg.Engine,
+		ad:            cophy.NewAdvisor(cfg.Catalog, cfg.Engine, cfg.Advisor),
+		cgen:          cfg.CGen,
+		stream:        workload.NewStream(workload.StreamConfig{HalfLife: halfLife, MinWeight: cfg.MinWeight}),
+		baseline:      engine.NewConfig(tpch.BaselineIndexes(cfg.Catalog)...),
+		reqTimeout:    cfg.RequestTimeout,
+		maxCandidates: cfg.MaxCandidates,
+		sem:           make(chan struct{}, 1),
 	}
+	// Memory bound, first slice: when decay evicts a statement from the
+	// live workload, its INUM cache entries (query and update shell) go
+	// with it, so the cache tracks the live workload instead of growing
+	// without bound.
+	d.stream.OnEvict(func(id string) {
+		d.evicted.Add(int64(d.ad.Inum.Evict(id)))
+	})
 	return d, nil
 }
 
@@ -178,12 +223,36 @@ func (d *Daemon) WhatIf(sql string, indexes []*catalog.Index) (WhatIfResult, err
 	if err != nil {
 		return WhatIfResult{}, err
 	}
+	d.trackWhatIf(id)
 	d.whatifs.Add(1)
 	res := WhatIfResult{Cost: cost, BaseCost: base}
 	if base > 0 {
 		res.Improvement = 1 - cost/base
 	}
 	return res, nil
+}
+
+// trackWhatIf records a what-if cache entry in the bounded FIFO,
+// evicting the oldest entry's template plans once the cap is reached.
+func (d *Daemon) trackWhatIf(id string) {
+	d.wiMu.Lock()
+	var drop string
+	if d.wiSeen == nil {
+		d.wiSeen = make(map[string]bool)
+	}
+	if !d.wiSeen[id] {
+		d.wiSeen[id] = true
+		d.wiOrder = append(d.wiOrder, id)
+		if len(d.wiOrder) > maxWhatIfEntries {
+			drop = d.wiOrder[0]
+			d.wiOrder = d.wiOrder[1:]
+			delete(d.wiSeen, drop)
+		}
+	}
+	d.wiMu.Unlock()
+	if drop != "" {
+		d.evicted.Add(int64(d.ad.Inum.Evict(drop)))
+	}
 }
 
 // RecommendOptions parameterize one recommendation.
@@ -223,7 +292,14 @@ type RecommendResult struct {
 // INUM cache, the previous incumbent as MIP start, and the previous
 // multipliers matched to surviving statements by block label — so a
 // re-solve after a small ingestion delta is incremental.
-func (d *Daemon) Recommend(opts RecommendOptions) (RecommendResult, error) {
+//
+// The context bounds the whole request: a caller whose deadline
+// expires while another recommendation holds the session gives up
+// without ever taking the semaphore, and an acquired solve inherits
+// the remaining time as its TimeLimit (both map to 503 at the HTTP
+// layer). A candidate set beyond the configured cap is rejected before
+// any solver work (413).
+func (d *Daemon) Recommend(ctx context.Context, opts RecommendOptions) (RecommendResult, error) {
 	w := d.stream.Snapshot()
 	if w.Size() == 0 {
 		return RecommendResult{}, fmt.Errorf("server: no workload ingested yet")
@@ -234,8 +310,48 @@ func (d *Daemon) Recommend(opts RecommendOptions) (RecommendResult, error) {
 	}
 	cands := cophy.Candidates(d.cat, w, d.cgen)
 
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return RecommendResult{}, err
+	}
+	select {
+	case d.sem <- struct{}{}:
+		defer func() { <-d.sem }()
+	case <-ctx.Done():
+		return RecommendResult{}, ctx.Err()
+	}
+
+	// The session's candidate positions are append-only (they anchor
+	// the solver's z variables), so the cap is judged against the union
+	// the request would actually solve over. A request whose own
+	// candidate set exceeds the cap is the caller's problem: 413. A
+	// union that exceeds it only because the session has accumulated
+	// candidates of long-evicted statements is the daemon's: the
+	// session is rebased (dropped for a cold re-session over the live
+	// candidates) instead of wedging every future request — the
+	// threshold-triggered slice of the ROADMAP's compaction story.
+	if d.maxCandidates > 0 {
+		own := make(map[string]bool, len(cands))
+		for _, ix := range cands {
+			own[ix.ID()] = true
+		}
+		if len(own) > d.maxCandidates {
+			return RecommendResult{}, fmt.Errorf("server: %w: %d > %d", ErrTooManyCandidates, len(own), d.maxCandidates)
+		}
+		if d.session != nil {
+			union := len(own)
+			for _, ix := range d.session.Candidates() {
+				if !own[ix.ID()] {
+					own[ix.ID()] = true
+					union++
+				}
+			}
+			if union > d.maxCandidates {
+				d.session = nil // rebase: next solve is cold over live candidates only
+				d.rebases.Add(1)
+			}
+		}
+	}
+
 	if d.session == nil {
 		d.session = d.ad.NewSession(w, cands, cons)
 	} else {
@@ -247,7 +363,19 @@ func (d *Daemon) Recommend(opts RecommendOptions) (RecommendResult, error) {
 	// recommendation leaves the next one cold — ask the session, don't
 	// count calls.
 	warm := d.session.Warm()
-	res, err := d.session.Solve()
+	res, err := d.session.SolveCtx(ctx)
+	// The solve re-prepared INUM entries for every snapshot statement —
+	// including any that a concurrent Tick evicted while the solve ran,
+	// whose IDs will never fire the eviction hook again. Sweep the
+	// snapshot against the live stream so those re-inserted entries
+	// cannot leak (run even on error: a cancelled solve may already
+	// have prepared them).
+	live := d.stream.LiveIDs()
+	for _, st := range w.Statements {
+		if id := st.ID(); !live[id] {
+			d.evicted.Add(int64(d.ad.Inum.Evict(id)))
+		}
+	}
 	if err != nil {
 		return RecommendResult{}, err
 	}
@@ -281,9 +409,14 @@ type Stats struct {
 	Ingested   int64 `json:"ingested"`
 	WhatIfs    int64 `json:"whatifs"`
 	Recommends int64 `json:"recommends"`
-	// PreparedQueries and PrepCalls expose the INUM cache state.
+	// PreparedQueries and PrepCalls expose the INUM cache state;
+	// EvictedEntries counts cache entries dropped by stream eviction.
 	PreparedQueries int   `json:"prepared_queries"`
 	PrepCalls       int64 `json:"prep_calls"`
+	EvictedEntries  int64 `json:"evicted_entries"`
+	// SessionRebases counts cold re-sessions forced by the candidate
+	// cap (accumulated dead candidates compacted away).
+	SessionRebases int64 `json:"session_rebases"`
 }
 
 // Snapshot returns current counters.
@@ -298,6 +431,8 @@ func (d *Daemon) Snapshot() Stats {
 		Recommends:      d.recommends.Load(),
 		PreparedQueries: d.ad.Inum.Prepared(),
 		PrepCalls:       calls,
+		EvictedEntries:  d.evicted.Load(),
+		SessionRebases:  d.rebases.Load(),
 	}
 }
 

@@ -1,0 +1,267 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/cophy"
+	"repro/internal/engine"
+	"repro/internal/tpch"
+	"repro/internal/workload"
+)
+
+func testDaemonWith(t *testing.T, mutate func(*Config)) *Daemon {
+	t.Helper()
+	cat := tpch.Build(tpch.Config{ScaleFactor: 0.05})
+	eng := engine.New(cat, engine.SystemA())
+	cfg := Config{
+		Catalog: cat,
+		Engine:  eng,
+		Advisor: cophy.Options{GapTol: 0.02, RootIters: 160, MaxNodes: 16},
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestCacheEvictOnStatementDrop: when stream decay evicts a statement,
+// its INUM cache entries must be dropped with it — the daemon's memory
+// footprint tracks the live workload, not its full history.
+func TestCacheEvictOnStatementDrop(t *testing.T) {
+	d := testDaemonWith(t, func(c *Config) {
+		c.HalfLife = 1 // aggressive decay: one tick halves every weight
+		c.MinWeight = 0.4
+	})
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+
+	// Ingest an initial batch and force the cache to be populated.
+	gen := workload.Hom(workload.HomConfig{Queries: 8, Seed: 11})
+	post(t, srv, "/ingest", ingestRequest{SQL: renderSQL(gen)}, nil)
+	var rec RecommendResult
+	if resp := post(t, srv, "/recommend", RecommendOptions{BudgetFraction: 0.5}, &rec); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/recommend status %d", resp.StatusCode)
+	}
+	before := d.ad.Inum.Prepared()
+	if before == 0 {
+		t.Fatal("recommend left no prepared queries")
+	}
+
+	// Keep one statement alive; everything else decays below MinWeight
+	// after a few ticks and must take its cache entries along.
+	keep := workload.Hom(workload.HomConfig{Queries: 1, Seed: 99})
+	for i := 0; i < 6; i++ {
+		post(t, srv, "/ingest", ingestRequest{SQL: renderSQL(keep), WeightScale: 100}, nil)
+	}
+	live := d.stream.Len()
+	after := d.ad.Inum.Prepared()
+	if after >= before {
+		t.Fatalf("cache did not shrink: %d prepared before eviction, %d after (%d live)", before, after, live)
+	}
+	if d.Snapshot().EvictedEntries == 0 {
+		t.Fatal("eviction counter never moved")
+	}
+
+	// A fresh recommendation over the survivors still works.
+	if resp := post(t, srv, "/recommend", RecommendOptions{BudgetFraction: 0.5}, &rec); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/recommend after eviction: status %d", resp.StatusCode)
+	}
+}
+
+// TestStreamEvictHookUnit pins the hook contract at the stream level:
+// called once per evicted statement, with its stable ID, after the
+// lock is released.
+func TestStreamEvictHookUnit(t *testing.T) {
+	st := workload.NewStream(workload.StreamConfig{HalfLife: 1, MinWeight: 0.4})
+	var evicted []string
+	st.OnEvict(func(id string) {
+		evicted = append(evicted, id)
+		st.Len() // reentrant call must not deadlock
+	})
+	gen := workload.Hom(workload.HomConfig{Queries: 3, Seed: 3})
+	var ids []string
+	for _, s := range gen.Statements {
+		s.Weight = 1
+		ids = append(ids, st.Observe(s))
+	}
+	st.Tick() // 0.5 — above threshold
+	if len(evicted) != 0 {
+		t.Fatalf("premature eviction: %v", evicted)
+	}
+	st.Tick() // 0.25 — below threshold: all evicted
+	if len(evicted) != len(ids) {
+		t.Fatalf("evicted %d of %d", len(evicted), len(ids))
+	}
+	for i, id := range ids {
+		if evicted[i] != id {
+			t.Fatalf("eviction order/IDs: got %v want %v", evicted, ids)
+		}
+	}
+}
+
+// postErr posts and returns the status code plus the decoded JSON
+// error body (the shared post helper closes the body on non-200).
+func postErr(t *testing.T, srv *httptest.Server, path string, body any) (int, map[string]string) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := srv.Client().Post(srv.URL+path, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var decoded map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&decoded); err != nil {
+		t.Fatalf("%s: error body not JSON: %v", path, err)
+	}
+	return resp.StatusCode, decoded
+}
+
+// TestRecommendTooManyCandidates: a candidate set beyond the cap is
+// 413 with a JSON error body, before any solver work.
+func TestRecommendTooManyCandidates(t *testing.T) {
+	d := testDaemonWith(t, func(c *Config) { c.MaxCandidates = 2 })
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+
+	gen := workload.Hom(workload.HomConfig{Queries: 12, Seed: 5})
+	post(t, srv, "/ingest", ingestRequest{SQL: renderSQL(gen)}, nil)
+	status, body := postErr(t, srv, "/recommend", RecommendOptions{})
+	if status != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413", status)
+	}
+	if body["error"] == "" {
+		t.Fatalf("413 body carries no error: %v", body)
+	}
+	if d.Snapshot().Recommends != 0 {
+		t.Fatal("rejected request counted as a recommendation")
+	}
+}
+
+// TestRecommendRebasesInsteadOfWedging: when the candidate cap is
+// exceeded only because the session accumulated candidates of evicted
+// statements, the daemon rebases the session (cold re-solve over the
+// live candidates) rather than answering 413 forever.
+func TestRecommendRebasesInsteadOfWedging(t *testing.T) {
+	cat := tpch.Build(tpch.Config{ScaleFactor: 0.05})
+	wA := workload.Het(workload.HetConfig{Queries: 8, Seed: 5})
+	wB := workload.Hom(workload.HomConfig{Queries: 6, Seed: 21})
+	cgen := cophy.CGenOptions{Covering: true}
+	sizeOf := func(ws ...*workload.Workload) int {
+		seen := map[string]bool{}
+		for _, w := range ws {
+			for _, ix := range cophy.Candidates(cat, w, cgen) {
+				seen[ix.ID()] = true
+			}
+		}
+		return len(seen)
+	}
+	sizeA, sizeB, union := sizeOf(wA), sizeOf(wB), sizeOf(wA, wB)
+	cap := sizeA // each mix must fit on its own, the union must not
+	if sizeB > cap {
+		cap = sizeB
+	}
+	if union <= cap {
+		t.Skip("workload mixes share all candidates; cannot exercise the rebase")
+	}
+
+	d := testDaemonWith(t, func(c *Config) {
+		c.HalfLife = 1
+		c.MinWeight = 0.4
+		c.MaxCandidates = cap
+	})
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+
+	post(t, srv, "/ingest", ingestRequest{SQL: renderSQL(wA)}, nil)
+	var first RecommendResult
+	if resp := post(t, srv, "/recommend", RecommendOptions{BudgetFraction: 0.5}, &first); resp.StatusCode != http.StatusOK {
+		t.Fatalf("first recommend: status %d", resp.StatusCode)
+	}
+	// Decay mix A out while mix B becomes the live workload.
+	for i := 0; i < 6; i++ {
+		post(t, srv, "/ingest", ingestRequest{SQL: renderSQL(wB), WeightScale: 100}, nil)
+	}
+	var second RecommendResult
+	resp := post(t, srv, "/recommend", RecommendOptions{BudgetFraction: 0.5}, &second)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("recommend after mix shift: status %d, want 200 via rebase", resp.StatusCode)
+	}
+	if second.Warm {
+		t.Fatal("rebased solve should be cold")
+	}
+	if second.Candidates > cap {
+		t.Fatalf("rebased session still over cap: %d > %d", second.Candidates, cap)
+	}
+	if d.Snapshot().SessionRebases == 0 {
+		t.Fatal("rebase counter never moved")
+	}
+}
+
+// TestRecommendTimeout503: an expired request deadline answers 503 and
+// leaves the daemon healthy for the next caller.
+func TestRecommendTimeout503(t *testing.T) {
+	d := testDaemonWith(t, func(c *Config) { c.RequestTimeout = time.Nanosecond })
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+
+	gen := workload.Hom(workload.HomConfig{Queries: 6, Seed: 8})
+	post(t, srv, "/ingest", ingestRequest{SQL: renderSQL(gen)}, nil)
+	status, body := postErr(t, srv, "/recommend", RecommendOptions{})
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", status)
+	}
+	if body["error"] == "" {
+		t.Fatalf("503 body carries no error: %v", body)
+	}
+
+	// The session must not have retained the aborted solve.
+	if d.session != nil && d.session.Warm() {
+		t.Fatal("aborted solve warmed the session")
+	}
+}
+
+// TestRecommendCancelledWhileLocked: a caller whose context dies while
+// another recommendation holds the session gives up with a context
+// error instead of queueing on the semaphore.
+func TestRecommendCancelledWhileLocked(t *testing.T) {
+	d := testDaemonWith(t, nil)
+	gen := workload.Hom(workload.HomConfig{Queries: 4, Seed: 2})
+	w, err := workload.Parse(d.cat, renderSQL(gen))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range w.Statements {
+		d.stream.Observe(s)
+	}
+
+	d.sem <- struct{}{} // simulate a long-running recommendation
+	defer func() { <-d.sem }()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	done := make(chan error, 1)
+	go func() {
+		_, err := d.Recommend(ctx, RecommendOptions{})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil || ctx.Err() == nil {
+			t.Fatalf("want context error, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled request blocked on the session lock")
+	}
+}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -87,7 +88,16 @@ func (d *Daemon) Handler() http.Handler {
 		if !decode(w, r, &req) {
 			return
 		}
-		res, err := d.Recommend(req)
+		// The request context (client disconnects cancel it) bounded by
+		// the configured per-request deadline; the solver inherits the
+		// remaining time as its TimeLimit.
+		ctx := r.Context()
+		if d.reqTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, d.reqTimeout)
+			defer cancel()
+		}
+		res, err := d.Recommend(ctx, req)
 		reply(w, res, err)
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
@@ -111,21 +121,28 @@ func decode(w http.ResponseWriter, r *http.Request, into any) bool {
 	return true
 }
 
-// reply writes a JSON response, mapping errors to 422 (the request was
-// well-formed but not servable: parse errors, unknown tables, empty
-// workload).
+// reply writes a JSON response. Errors map by kind: a dead request
+// context (deadline or client cancellation) is 503 — the service is
+// fine, this request ran out of time; an over-cap candidate set is
+// 413; everything else is 422 (the request was well-formed but not
+// servable: parse errors, unknown tables, empty workload).
 func reply(w http.ResponseWriter, res any, err error) {
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		switch {
+		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+			writeError(w, http.StatusServiceUnavailable, err)
+		case errors.Is(err, ErrTooManyCandidates):
+			writeError(w, http.StatusRequestEntityTooLarge, err)
+		default:
+			writeError(w, http.StatusUnprocessableEntity, err)
+		}
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(res); err != nil && !errors.Is(err, http.ErrHandlerTimeout) {
-		// The connection is gone; nothing recoverable.
-		return
-	}
+	// An encode error means the connection is gone; nothing recoverable.
+	_ = enc.Encode(res)
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {

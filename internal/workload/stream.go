@@ -38,6 +38,7 @@ type Stream struct {
 	nextID    int
 	observed  int64
 	ticks     int64
+	onEvict   func(id string)
 }
 
 // streamEntry is one live statement with its decayed weight.
@@ -89,21 +90,37 @@ func (st *Stream) Observe(s *Statement) string {
 	return id
 }
 
+// OnEvict registers a hook invoked with the stable ID of every
+// statement the decay eviction drops. The hook runs after Tick
+// releases the stream's lock (it may safely call back into the
+// stream), in eviction order. Downstream caches keyed by statement ID
+// — the INUM cache above all — use it to forget entries whose
+// statement is gone, the first slice of the daemon's memory bound.
+func (st *Stream) OnEvict(fn func(id string)) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.onEvict = fn
+}
+
 // Tick advances the decay clock once: every weight is multiplied by
 // the per-tick decay factor and entries falling below the eviction
 // threshold are dropped. Without decay configured, Tick only counts.
 func (st *Stream) Tick() {
 	st.mu.Lock()
-	defer st.mu.Unlock()
 	st.ticks++
 	if st.decay >= 1 {
+		st.mu.Unlock()
 		return
 	}
+	var evicted []string
 	kept := st.order[:0]
 	for _, e := range st.order {
 		e.weight *= st.decay
 		if e.weight < st.minWeight {
 			delete(st.entries, e.st.String())
+			if st.onEvict != nil {
+				evicted = append(evicted, e.st.ID())
+			}
 			continue
 		}
 		kept = append(kept, e)
@@ -112,6 +129,11 @@ func (st *Stream) Tick() {
 		st.order[i] = nil
 	}
 	st.order = kept
+	fn := st.onEvict
+	st.mu.Unlock()
+	for _, id := range evicted {
+		fn(id)
+	}
 }
 
 // Snapshot materializes the live workload: the surviving statements in
@@ -130,6 +152,22 @@ func (st *Stream) Snapshot() *Workload {
 		})
 	}
 	return w
+}
+
+// LiveIDs returns the stable IDs of the live statements as a set, in
+// one pass under the lock. Consumers that solved over a Snapshot use
+// it to re-check the snapshot's statements afterwards: an eviction
+// that fired while the solve held the snapshot may have been undone
+// cache-side by the solve's own re-preparation, and the dead ID will
+// never be evicted again (a re-observed statement mints a fresh ID).
+func (st *Stream) LiveIDs() map[string]bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	ids := make(map[string]bool, len(st.order))
+	for _, e := range st.order {
+		ids[e.st.ID()] = true
+	}
+	return ids
 }
 
 // Len returns the number of live (distinct, unevicted) statements.
