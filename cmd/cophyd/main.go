@@ -7,10 +7,18 @@
 // re-solve from the previous session state so small ingestion deltas
 // re-optimize incrementally.
 //
+// With -data-dir the daemon is durable: accepted ingest batches and
+// session changes are written to a checksummed, segment-rotated WAL,
+// periodic (and shutdown) snapshots capture the full state, and a
+// restart — graceful or kill -9 — recovers the live workload, its decay
+// clocks, and the previous session's multipliers, so the first
+// /recommend after the restart solves warm.
+//
 // Examples:
 //
 //	cophyd -addr 127.0.0.1:8080 -scale 1 -half-life 64
 //	cophyd -addr 127.0.0.1:0          # pick a free port, print it
+//	cophyd -data-dir /var/lib/cophyd -snapshot-interval 5m -auth-token s3cret
 //
 // See cmd/cophyd/README.md for the API.
 package main
@@ -28,6 +36,7 @@ import (
 
 	"repro/internal/cophy"
 	"repro/internal/engine"
+	"repro/internal/persist"
 	"repro/internal/server"
 	"repro/internal/tpch"
 )
@@ -44,6 +53,10 @@ func main() {
 	minWeight := flag.Float64("min-weight", 1e-3, "eviction threshold for decayed statements")
 	reqTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request deadline for /recommend; the solver inherits the remaining time (0 disables)")
 	maxCandidates := flag.Int("max-candidates", 4096, "cap on the candidate set a /recommend may solve over; exceeding it answers 413 (0 disables)")
+	dataDir := flag.String("data-dir", "", "durable state directory: WAL + snapshots, recovered on startup (empty disables persistence)")
+	snapInterval := flag.Duration("snapshot-interval", 5*time.Minute, "period between durable snapshots when -data-dir is set (0 = only on shutdown and POST /snapshot)")
+	authToken := flag.String("auth-token", "", "bearer token required on mutating endpoints (/ingest, /recommend, /snapshot); empty disables auth")
+	fsync := flag.Bool("fsync", false, "fsync the WAL after every record (survives machine crashes, not just process crashes)")
 	flag.Parse()
 
 	prof := engine.SystemA()
@@ -53,6 +66,16 @@ func main() {
 	cat := tpch.Build(tpch.Config{ScaleFactor: *scale, Skew: *skew})
 	eng := engine.New(cat, prof)
 
+	var store *persist.Store
+	if *dataDir != "" {
+		var err error
+		store, err = persist.Open(*dataDir, persist.Options{Sync: *fsync})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	}
+
 	d, err := server.New(server.Config{
 		Catalog:        cat,
 		Engine:         eng,
@@ -61,10 +84,17 @@ func main() {
 		MinWeight:      *minWeight,
 		RequestTimeout: *reqTimeout,
 		MaxCandidates:  *maxCandidates,
+		Store:          store,
+		AuthToken:      *authToken,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
+	}
+	if store != nil {
+		rec := d.Snapshot().Recovery
+		fmt.Printf("cophyd recovered %d statements, %d WAL records replayed, warm session: %v (%.0f ms)\n",
+			rec.Statements, rec.ReplayedRecords, rec.WarmSession, rec.Millis)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -82,6 +112,13 @@ func main() {
 		serveErr <- srv.Serve(ln)
 	}()
 
+	// Periodic durable snapshots, bounding WAL replay time.
+	snapCtx, stopSnaps := context.WithCancel(context.Background())
+	defer stopSnaps()
+	if store != nil {
+		d.StartSnapshots(snapCtx, *snapInterval)
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
@@ -91,6 +128,15 @@ func main() {
 		defer cancel()
 		_ = srv.Shutdown(ctx)
 		<-serveErr
+		// Graceful-shutdown flush: one final snapshot folds the WAL
+		// tail in, so the next start replays (almost) nothing.
+		if store != nil {
+			stopSnaps()
+			if _, err := d.WriteSnapshot(ctx); err != nil {
+				fmt.Fprintln(os.Stderr, "shutdown snapshot:", err)
+			}
+			_ = store.Close()
+		}
 	case err := <-serveErr:
 		// The listener died out from under us: exit non-zero rather
 		// than lingering as a healthy-looking process that serves

@@ -210,11 +210,118 @@ type Session struct {
 	cons Constraints
 	s    []*catalog.Index
 	last *Result
+	// seed is a recovered warm start (dual state, incumbent, accepted
+	// gap) installed by RestoreSession: the first solve of a restarted
+	// daemon adopts it exactly as it would the previous in-process
+	// solve, then the session's own results take over.
+	seed *SessionState
 }
 
 // NewSession starts an interactive session.
 func (ad *Advisor) NewSession(w *workload.Workload, s []*catalog.Index, cons Constraints) *Session {
 	return &Session{ad: ad, w: w, cons: cons, s: append([]*catalog.Index(nil), s...)}
+}
+
+// SessionState is the portable warm state of a session — what a
+// durability layer persists so a restarted advisor's first solve is
+// incremental rather than cold. Duals and Selected are positional over
+// Candidates, so the three travel together.
+type SessionState struct {
+	// Candidates is the session's candidate set in position order.
+	Candidates []*catalog.Index
+	// Duals is the dual state of the last solve, blocks labeled by
+	// statement ID.
+	Duals []lagrange.DualBlock
+	// Selected is the last incumbent, aligned with Candidates.
+	Selected []bool
+	// Gap is the relative optimality gap the last solve achieved.
+	Gap float64
+}
+
+// ExportState captures the session's warm state, or nil when there is
+// nothing warm to carry (no successful solve and no unconsumed seed).
+func (se *Session) ExportState() *SessionState {
+	if se.last != nil && !se.last.Infeasible {
+		sel := make([]bool, len(se.s))
+		copy(sel, se.last.Selected)
+		return &SessionState{
+			Candidates: append([]*catalog.Index(nil), se.s...),
+			Duals:      se.last.Lambda.Export(),
+			Selected:   sel,
+			Gap:        se.last.Gap,
+		}
+	}
+	if se.seed != nil {
+		sel := make([]bool, len(se.s))
+		copy(sel, se.seed.Selected)
+		return &SessionState{
+			Candidates: append([]*catalog.Index(nil), se.s...),
+			Duals:      se.seed.Duals,
+			Selected:   sel,
+			Gap:        se.seed.Gap,
+		}
+	}
+	return nil
+}
+
+// RestoreSession rebuilds a session from persisted warm state: the
+// candidate positions come from the state (so the dual sites' index
+// keys stay meaningful) and the first solve warm-starts from the
+// recovered multipliers and incumbent.
+func (ad *Advisor) RestoreSession(w *workload.Workload, state *SessionState, cons Constraints) *Session {
+	se := ad.NewSession(w, state.Candidates, cons)
+	se.seed = state
+	return se
+}
+
+// Compact rebases the session onto a new candidate set — the live
+// candidates, typically much smaller than the accumulated append-only
+// set — while carrying the warm state across: surviving candidates'
+// multipliers are remapped to their new positions (blocks still matched
+// by statement label), dropped candidates' sites are discarded, and the
+// incumbent keeps its surviving choices. This is the policy slice the
+// ROADMAP asked for: a session whose dead candidates dominate no longer
+// needs a cold re-session to shed them.
+func (se *Session) Compact(live []*catalog.Index) {
+	seen := make(map[string]int32, len(live))
+	news := make([]*catalog.Index, 0, len(live))
+	for _, ix := range live {
+		if _, dup := seen[ix.ID()]; !dup {
+			seen[ix.ID()] = int32(len(news))
+			news = append(news, ix)
+		}
+	}
+	perm := make([]int32, len(se.s))
+	for i, ix := range se.s {
+		if p, ok := seen[ix.ID()]; ok {
+			perm[i] = p
+		} else {
+			perm[i] = -1
+		}
+	}
+	remapSel := func(sel []bool) []bool {
+		out := make([]bool, len(news))
+		for i, on := range sel {
+			if on && i < len(perm) && perm[i] >= 0 {
+				out[perm[i]] = true
+			}
+		}
+		return out
+	}
+	se.s = news
+	if se.last != nil && !se.last.Infeasible {
+		cp := *se.last
+		cp.Lambda = cp.Lambda.Remap(perm)
+		cp.Selected = remapSel(se.last.Selected)
+		se.last = &cp
+	} else if se.seed != nil {
+		se.seed = &SessionState{
+			Candidates: news,
+			Duals:      lagrange.ImportDual(se.seed.Duals).Remap(perm).Export(),
+			Selected:   remapSel(se.seed.Selected),
+			Gap:        se.seed.Gap,
+		}
+	}
 }
 
 // Candidates returns the session's current candidate set.
@@ -253,9 +360,10 @@ func (se *Session) SetWorkload(w *workload.Workload) { se.w = w }
 func (se *Session) Workload() *workload.Workload { return se.w }
 
 // Warm reports whether the next Solve will reuse previous session
-// state (incumbent MIP start and dual warm start). Infeasible results
+// state (incumbent MIP start and dual warm start) — either this
+// session's own last result or a recovered seed. Infeasible results
 // are not retained, so a failed solve leaves the session cold.
-func (se *Session) Warm() bool { return se.last != nil }
+func (se *Session) Warm() bool { return se.last != nil || se.seed != nil }
 
 // Solve computes (or recomputes) the recommendation. The first call
 // pays INUM preparation and a cold solve; later calls are warm.
@@ -299,10 +407,7 @@ func (se *Session) SolveCtx(ctx context.Context) (*Result, error) {
 	var warm *lagrange.Multipliers
 	var start []bool
 	gapTol := ad.Opts.GapTol
-	if se.last != nil && !se.last.Infeasible {
-		warm = se.last.Lambda
-		start = make([]bool, len(se.s))
-		copy(start, se.last.Selected) // appended candidates start off
+	relaxTo := func(g float64) {
 		// Stop once the revision is as tight as the solution the DBA
 		// already accepted: with the repriced warm duals this is
 		// usually reached almost immediately, the computation-reuse
@@ -311,9 +416,23 @@ func (se *Session) SolveCtx(ctx context.Context) (*Result, error) {
 		// without a cap a long-lived session (the streaming daemon
 		// re-solves after every delta) would compound the ratchet ~2%
 		// per solve and degrade without bound.
-		if g := se.last.Gap * 1.02; g > gapTol {
+		if g = g * 1.02; g > gapTol {
 			gapTol = math.Min(g, 2*ad.Opts.GapTol)
 		}
+	}
+	if se.last != nil && !se.last.Infeasible {
+		warm = se.last.Lambda
+		start = make([]bool, len(se.s))
+		copy(start, se.last.Selected) // appended candidates start off
+		relaxTo(se.last.Gap)
+	} else if se.seed != nil {
+		// Recovered warm state: the persisted duals and incumbent of
+		// the pre-restart session, adopted exactly like an in-process
+		// warm start.
+		warm = lagrange.ImportDual(se.seed.Duals)
+		start = make([]bool, len(se.s))
+		copy(start, se.seed.Selected)
+		relaxTo(se.seed.Gap)
 	}
 	res, solveTime := ad.solveWith(ctx, inst, model, warm, start, gapTol)
 	if err := ctx.Err(); err != nil {
@@ -324,6 +443,7 @@ func (se *Session) SolveCtx(ctx context.Context) (*Result, error) {
 	res.Times = Timings{INUM: inumTime, Build: buildTime, Solve: solveTime}
 	if !res.Infeasible {
 		se.last = res
+		se.seed = nil // the session's own state supersedes the recovered seed
 	}
 	return res, nil
 }

@@ -1,0 +1,143 @@
+package cophy
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/engine"
+	"repro/internal/lagrange"
+	"repro/internal/tpch"
+	"repro/internal/workload"
+)
+
+// TestSessionExportRestoreWarm: a session rebuilt on a *fresh advisor*
+// from its exported state (through a JSON round-trip, as the daemon's
+// durability layer stores it) must solve exactly like the original
+// session's own in-process warm re-solve — the restored state IS the
+// session state, so the deterministic solver must not be able to tell
+// the difference — and no worse than a cold control.
+func TestSessionExportRestoreWarm(t *testing.T) {
+	cat := tpch.Build(tpch.Config{ScaleFactor: 0.05})
+	eng := engine.New(cat, engine.SystemA())
+	// The daemon's solver profile, where a warm identical-workload
+	// re-solve terminates early on the accepted-gap ratchet.
+	opts := Options{GapTol: 0.02, RootIters: 160, MaxNodes: 16}
+	ad := NewAdvisor(cat, eng, opts)
+	w := workload.Hom(workload.HomConfig{Queries: 30, Seed: 11})
+	s := Candidates(cat, w, CGenOptions{Covering: true})
+	cons := FractionOfData(cat, 0.5)
+
+	sess := ad.NewSession(w, s, cons)
+	cold, err := sess.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Iters < 2 {
+		t.Fatalf("cold solve trivial (%d iters)", cold.Iters)
+	}
+
+	state := sess.ExportState()
+	if state == nil || len(state.Duals) == 0 || len(state.Candidates) != len(sess.Candidates()) {
+		t.Fatalf("export degenerate: %+v", state)
+	}
+
+	// Control: the in-process warm re-solve over the same state.
+	inProc, err := sess.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The restart: a different advisor instance (fresh INUM cache) and
+	// the state round-tripped through JSON.
+	blob, err := json.Marshal(struct {
+		Candidates []*catalog.Index
+		Duals      []lagrange.DualBlock
+		Selected   []bool
+		Gap        float64
+	}{state.Candidates, state.Duals, state.Selected, state.Gap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored SessionState
+	if err := json.Unmarshal(blob, &restored); err != nil {
+		t.Fatal(err)
+	}
+	ad2 := NewAdvisor(cat, engine.New(cat, engine.SystemA()), opts)
+	sess2 := ad2.RestoreSession(w, &restored, cons)
+	if !sess2.Warm() {
+		t.Fatal("restored session reports cold")
+	}
+	warm, err := sess2.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Infeasible || len(warm.Indexes) == 0 {
+		t.Fatalf("restored solve degenerate: %+v", warm)
+	}
+	if warm.Iters != inProc.Iters || warm.EstCost != inProc.EstCost || warm.Gap != inProc.Gap {
+		t.Fatalf("restored solve differs from in-process warm re-solve: iters %d/%d cost %v/%v gap %v/%v",
+			warm.Iters, inProc.Iters, warm.EstCost, inProc.EstCost, warm.Gap, inProc.Gap)
+	}
+	if warm.Iters >= cold.Iters {
+		t.Fatalf("restored solve not warm: %d iters vs cold %d", warm.Iters, cold.Iters)
+	}
+}
+
+// TestSessionCompactCarriesWarmState: compacting a session onto the
+// live candidate subset keeps it warm — the remapped duals and
+// incumbent make the next solve cheaper than a cold one — and shrinks
+// the candidate set.
+func TestSessionCompactCarriesWarmState(t *testing.T) {
+	ad, cat, _ := testAdvisor(t)
+	w := workload.Hom(workload.HomConfig{Queries: 30, Seed: 11})
+	s := Candidates(cat, w, CGenOptions{Covering: true})
+	cons := FractionOfData(cat, 0.25)
+
+	sess := ad.NewSession(w, s, cons)
+	cold, err := sess.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Compact onto the first two thirds of the candidates plus every
+	// selected one (so the incumbent survives).
+	keep := append([]*catalog.Index(nil), s[:2*len(s)/3]...)
+	have := map[string]bool{}
+	for _, ix := range keep {
+		have[ix.ID()] = true
+	}
+	for _, ix := range cold.Indexes {
+		if !have[ix.ID()] {
+			have[ix.ID()] = true
+			keep = append(keep, ix)
+		}
+	}
+	sess.Compact(keep)
+	if got := len(sess.Candidates()); got != len(keep) {
+		t.Fatalf("compacted to %d candidates, want %d", got, len(keep))
+	}
+	if !sess.Warm() {
+		t.Fatal("compaction lost the warm state")
+	}
+	warm, err := sess.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Infeasible {
+		t.Fatal("compacted solve infeasible")
+	}
+	if cold.Iters >= 2 && warm.Iters >= cold.Iters {
+		t.Fatalf("compacted re-solve not warm: %d iters vs cold %d", warm.Iters, cold.Iters)
+	}
+
+	// A cold control over the same compacted set, for the comparison's
+	// sanity (same instance, no warm state).
+	coldC, err := ad.NewSession(w, keep, cons).Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coldC.Iters >= 2 && warm.Iters > coldC.Iters {
+		t.Fatalf("compacted warm solve (%d iters) worse than compacted cold (%d)", warm.Iters, coldC.Iters)
+	}
+}

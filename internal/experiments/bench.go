@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"testing"
 
 	"repro/internal/catalog"
@@ -211,10 +212,14 @@ func BenchLP() ([]BenchResult, error) {
 // directory's BENCH_*.json and a new run's — the comparison recipe of
 // the package comment turned into a command. Regressions beyond the
 // noise gate (>15% on one entry, or >5% on three or more) are flagged
-// in the summary line; the function never fails the caller — the CI
-// job that runs it is non-blocking until a pinned-hardware baseline
-// store exists.
-func DiffBenchJSON(baseDir, newDir string) error {
+// in the summary line.
+//
+// failOver promotes the gate from advisory to failing: when positive,
+// any benchmark regressing more than failOver percent makes the call
+// return an error naming the offenders. Zero keeps the historical
+// never-fail behavior — the shared-runner default, until a
+// pinned-hardware runner flips the flag on.
+func DiffBenchJSON(baseDir, newDir string, failOver float64) error {
 	files, err := filepath.Glob(filepath.Join(newDir, "BENCH_*.json"))
 	if err != nil {
 		return err
@@ -224,6 +229,7 @@ func DiffBenchJSON(baseDir, newDir string) error {
 	}
 	sort.Strings(files)
 	flagged, minor, compared := 0, 0, 0
+	var overFail []string
 	for _, nf := range files {
 		name := filepath.Base(nf)
 		newRes, err := readBench(nf)
@@ -257,6 +263,9 @@ func DiffBenchJSON(baseDir, newDir string) error {
 				mark = "  <- slower"
 				minor++
 			}
+			if failOver > 0 && delta > failOver {
+				overFail = append(overFail, fmt.Sprintf("%s %+.1f%%", r.Name, delta))
+			}
 			fmt.Printf("%-32s %14.0f %14.0f %+7.1f%%%s\n", r.Name, b.NsPerOp, r.NsPerOp, delta, mark)
 		}
 	}
@@ -264,9 +273,13 @@ func DiffBenchJSON(baseDir, newDir string) error {
 	case compared == 0:
 		fmt.Printf("\nno baselines compared — nothing to gate\n")
 	case flagged > 0 || minor >= 3:
-		fmt.Printf("\nnoise gate tripped: %d entries >15%%, %d entries >5%% (advisory until a pinned baseline store exists)\n", flagged, minor)
+		fmt.Printf("\nnoise gate tripped: %d entries >15%%, %d entries >5%%\n", flagged, minor)
 	default:
 		fmt.Printf("\nwithin noise gate (%d benchmarks compared)\n", compared)
+	}
+	if len(overFail) > 0 {
+		return fmt.Errorf("bench gate: %d benchmark(s) regressed beyond %.1f%%: %s",
+			len(overFail), failOver, strings.Join(overFail, ", "))
 	}
 	return nil
 }

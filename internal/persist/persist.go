@@ -1,0 +1,291 @@
+// Package persist gives the advisor daemon a durable, crash-consistent
+// state store: an append-only write-ahead log of checksummed records in
+// rotated segment files, plus versioned point-in-time snapshots that
+// bound replay time and let older segments be truncated.
+//
+// The contract mirrors classic database recovery. Every state mutation
+// the owner wants to survive a crash is appended as one opaque record;
+// a snapshot captures the owner's full state and names the WAL segment
+// sequence from which replay must resume; recovery loads the newest
+// snapshot and replays the segment tail in order. A torn final record —
+// the write the crash interrupted — is detected by its checksum (or by
+// the file simply ending mid-frame) and cut off; corruption anywhere
+// *before* the tail is not a torn write and fails recovery loudly
+// rather than silently dropping acknowledged records.
+//
+// On-disk layout, all integers little-endian:
+//
+//	wal-<seq>.log    segment header (magic "CPHW", format version,
+//	                 seq), then records framed as
+//	                 [len u32][crc32(payload) u32][payload]
+//	snap-<seq>.snap  snapshot header (magic "CPHS", format version,
+//	                 wal seq, payload len, crc32(payload)), then the
+//	                 owner's opaque payload; written to a temp file and
+//	                 renamed into place, so a crashed snapshot write
+//	                 leaves the previous snapshot intact
+//
+// <seq> in a snapshot name is the first WAL segment to replay on top of
+// it. A version mismatch in either header is rejected with an error
+// naming both versions — state written by a different binary generation
+// is never misparsed.
+package persist
+
+import (
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+const (
+	walMagic  uint32 = 0x43504857 // "CPHW"
+	snapMagic uint32 = 0x43504853 // "CPHS"
+
+	// FormatVersion stamps every segment and snapshot header. Readers
+	// refuse any other version: a durable state directory is only
+	// meaningful to the binary generation that wrote it, and silent
+	// misparsing is the one failure mode a recovery layer must not have.
+	FormatVersion uint32 = 1
+
+	segHeaderLen = 16 // magic + version + seq
+	recHeaderLen = 8  // payload len + crc
+	// maxRecordBytes bounds one record; a framed length beyond it is
+	// treated as corruption, not an allocation request.
+	maxRecordBytes = 64 << 20
+)
+
+// Options tune a Store.
+type Options struct {
+	// SegmentBytes is the rotation threshold: an append that finds the
+	// current segment at or beyond it starts a new segment first.
+	// Default 1 MiB.
+	SegmentBytes int64
+	// KeepSnapshots is how many snapshot files are retained (the newest
+	// is authoritative; older ones exist for forensics). Default 2.
+	KeepSnapshots int
+	// Sync fsyncs the segment after every append. Off by default: the
+	// daemon's durability target is process crashes (kill -9, deploys),
+	// which the page cache survives; snapshots are always fsynced.
+	Sync bool
+}
+
+// Store is a WAL + snapshot directory. All methods are safe for
+// concurrent use; Recover must be called (once) before the first
+// Append or WriteSnapshot.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu        sync.Mutex
+	seg       *os.File
+	segSeq    uint64
+	segSize   int64
+	nextSeq   uint64
+	recovered bool
+	appended  int64
+}
+
+// Open prepares a store over dir, creating it if needed. No segment is
+// created yet — recovery must see the directory exactly as the crash
+// left it, and fresh appends always start a new segment rather than
+// extending a possibly-torn one.
+func Open(dir string, opts Options) (*Store, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = 1 << 20
+	}
+	if opts.KeepSnapshots <= 0 {
+		opts.KeepSnapshots = 2
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	// Sweep snapshot temp files a crash mid-WriteSnapshot left behind:
+	// sequence numbers only advance, so nothing would ever overwrite
+	// or collect them.
+	if tmps, err := filepath.Glob(filepath.Join(dir, "snap-*.snap.tmp")); err == nil {
+		for _, tmp := range tmps {
+			_ = os.Remove(tmp)
+		}
+	}
+	segs, err := listSeqs(dir, "wal-", ".log")
+	if err != nil {
+		return nil, err
+	}
+	// Snapshot names also pin sequence numbers: a snapshot at seq S
+	// means "replay from S", so even if segment S itself was lost to a
+	// torn creation, no future segment may reuse a sequence ≤ S — it
+	// would be skipped by replay.
+	snaps, err := listSeqs(dir, "snap-", ".snap")
+	if err != nil {
+		return nil, err
+	}
+	next := uint64(1)
+	if n := len(segs); n > 0 && segs[n-1]+1 > next {
+		next = segs[n-1] + 1
+	}
+	if n := len(snaps); n > 0 && snaps[n-1]+1 > next {
+		next = snaps[n-1] + 1
+	}
+	return &Store{dir: dir, opts: opts, nextSeq: next}, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Appended returns the number of records appended since Open.
+func (s *Store) Appended() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.appended
+}
+
+// Append frames one record onto the WAL, rotating the segment when the
+// current one is full. The payload is owned by the caller.
+func (s *Store) Append(payload []byte) error {
+	if len(payload) == 0 || len(payload) > maxRecordBytes {
+		return fmt.Errorf("persist: record size %d out of range", len(payload))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.recovered {
+		return fmt.Errorf("persist: Append before Recover")
+	}
+	if s.seg == nil || s.segSize >= s.opts.SegmentBytes {
+		if _, err := s.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	var hdr [recHeaderLen]byte
+	putU32(hdr[0:], uint32(len(payload)))
+	putU32(hdr[4:], crc32.ChecksumIEEE(payload))
+	if _, err := s.seg.Write(hdr[:]); err != nil {
+		return fmt.Errorf("persist: append: %w", err)
+	}
+	if _, err := s.seg.Write(payload); err != nil {
+		return fmt.Errorf("persist: append: %w", err)
+	}
+	s.segSize += int64(recHeaderLen + len(payload))
+	s.appended++
+	if s.opts.Sync {
+		if err := s.seg.Sync(); err != nil {
+			return fmt.Errorf("persist: sync: %w", err)
+		}
+	}
+	return nil
+}
+
+// Rotate closes the current segment and starts a fresh one, returning
+// the new segment's sequence number. Every record appended after Rotate
+// returns lands in a segment with at least that sequence — the snapshot
+// cut: the owner calls Rotate, exports its state, and passes the
+// returned sequence to WriteSnapshot, so no record acknowledged after
+// the export can be truncated away.
+func (s *Store) Rotate() (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.recovered {
+		return 0, fmt.Errorf("persist: Rotate before Recover")
+	}
+	return s.rotateLocked()
+}
+
+func (s *Store) rotateLocked() (uint64, error) {
+	if s.seg != nil {
+		syncClose(s.seg)
+		s.seg = nil
+	}
+	seq := s.nextSeq
+	path := filepath.Join(s.dir, segName(seq))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return 0, fmt.Errorf("persist: rotate: %w", err)
+	}
+	var hdr [segHeaderLen]byte
+	putU32(hdr[0:], walMagic)
+	putU32(hdr[4:], FormatVersion)
+	putU64(hdr[8:], seq)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return 0, fmt.Errorf("persist: rotate: %w", err)
+	}
+	s.seg, s.segSeq, s.segSize = f, seq, segHeaderLen
+	s.nextSeq = seq + 1
+	syncDir(s.dir)
+	return seq, nil
+}
+
+// Close flushes and closes the current segment.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.seg != nil {
+		syncClose(s.seg)
+		s.seg = nil
+	}
+	return nil
+}
+
+// segName / snapName render the on-disk file names.
+func segName(seq uint64) string  { return fmt.Sprintf("wal-%016d.log", seq) }
+func snapName(seq uint64) string { return fmt.Sprintf("snap-%016d.snap", seq) }
+
+// listSeqs returns the sorted sequence numbers of files named
+// <prefix><seq><suffix> under dir.
+func listSeqs(dir, prefix, suffix string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	var seqs []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+			continue
+		}
+		num := strings.TrimSuffix(strings.TrimPrefix(name, prefix), suffix)
+		seq, err := strconv.ParseUint(num, 10, 64)
+		if err != nil {
+			continue // foreign file; ignore
+		}
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}
+
+func putU32(b []byte, v uint32) {
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+}
+
+func putU64(b []byte, v uint64) {
+	putU32(b, uint32(v))
+	putU32(b[4:], uint32(v>>32))
+}
+
+func getU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func getU64(b []byte) uint64 {
+	return uint64(getU32(b)) | uint64(getU32(b[4:]))<<32
+}
+
+// syncClose fsyncs and closes, best-effort: by the time a segment is
+// closed its records were either acknowledged under Options.Sync or the
+// owner accepted page-cache durability.
+func syncClose(f *os.File) {
+	_ = f.Sync()
+	_ = f.Close()
+}
+
+// syncDir fsyncs a directory so renames and creates are durable.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+}

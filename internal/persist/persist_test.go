@@ -1,0 +1,375 @@
+package persist
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// openRecovered opens a store and runs an empty recovery, the state in
+// which appends are legal.
+func openRecovered(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Recover(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// collect returns recovery callbacks that gather the snapshot payload
+// and replayed records.
+func collect(snap *[]byte, recs *[][]byte) (func([]byte) error, func([]byte) error) {
+	return func(p []byte) error {
+			*snap = append([]byte(nil), p...)
+			return nil
+		}, func(r []byte) error {
+			*recs = append(*recs, append([]byte(nil), r...))
+			return nil
+		}
+}
+
+func TestWALRoundTripAcrossRotation(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments force rotation every couple of records.
+	s := openRecovered(t, dir, Options{SegmentBytes: 64})
+	var want [][]byte
+	for i := 0; i < 20; i++ {
+		rec := []byte(fmt.Sprintf("record-%02d-%s", i, strings.Repeat("x", i)))
+		want = append(want, rec)
+		if err := s.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := listSeqs(dir, "wal-", ".log")
+	if len(segs) < 3 {
+		t.Fatalf("rotation never happened: %d segments", len(segs))
+	}
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap []byte
+	var got [][]byte
+	onSnap, onRec := collect(&snap, &got)
+	info, err := s2.Recover(onSnap, onRec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.HadSnapshot || snap != nil {
+		t.Fatal("no snapshot was written, yet one was recovered")
+	}
+	if info.Records != len(want) || len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", info.Records, len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("record %d: got %q want %q", i, got[i], want[i])
+		}
+	}
+	if info.TruncatedBytes != 0 {
+		t.Fatalf("clean log reported %d truncated bytes", info.TruncatedBytes)
+	}
+}
+
+func TestSnapshotTruncatesAndRecovers(t *testing.T) {
+	dir := t.TempDir()
+	s := openRecovered(t, dir, Options{SegmentBytes: 64})
+	for i := 0; i < 10; i++ {
+		if err := s.Append([]byte(fmt.Sprintf("pre-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seq, err := s.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	si, err := s.WriteSnapshot(seq, []byte("state-at-10"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if si.PrunedSegments == 0 {
+		t.Fatal("snapshot pruned no segments")
+	}
+	// Tail records after the snapshot cut.
+	for i := 0; i < 3; i++ {
+		if err := s.Append([]byte(fmt.Sprintf("post-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	s2, _ := Open(dir, Options{})
+	var snap []byte
+	var recs [][]byte
+	onSnap, onRec := collect(&snap, &recs)
+	info, err := s2.Recover(onSnap, onRec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.HadSnapshot || string(snap) != "state-at-10" {
+		t.Fatalf("snapshot not recovered: %+v %q", info, snap)
+	}
+	if len(recs) != 3 || string(recs[0]) != "post-0" {
+		t.Fatalf("tail replay wrong: %q", recs)
+	}
+}
+
+func TestTornFinalRecordIsCutOff(t *testing.T) {
+	for cut := 1; cut <= 11; cut += 5 {
+		dir := t.TempDir()
+		s := openRecovered(t, dir, Options{})
+		s.Append([]byte("first-record"))
+		s.Append([]byte("second-record"))
+		s.Close()
+
+		segs, _ := listSeqs(dir, "wal-", ".log")
+		path := filepath.Join(dir, segName(segs[len(segs)-1]))
+		fi, _ := os.Stat(path)
+		// Cut into the final record's frame.
+		if err := os.Truncate(path, fi.Size()-int64(cut)); err != nil {
+			t.Fatal(err)
+		}
+
+		s2, _ := Open(dir, Options{})
+		var recs [][]byte
+		_, onRec := collect(new([]byte), &recs)
+		info, err := s2.Recover(nil, onRec)
+		if err != nil {
+			t.Fatalf("cut=%d: torn tail must recover, got %v", cut, err)
+		}
+		if len(recs) != 1 || string(recs[0]) != "first-record" {
+			t.Fatalf("cut=%d: surviving records %q", cut, recs)
+		}
+		if info.TruncatedBytes == 0 {
+			t.Fatalf("cut=%d: truncation not reported", cut)
+		}
+	}
+}
+
+func TestCorruptChecksumMidLogFails(t *testing.T) {
+	dir := t.TempDir()
+	s := openRecovered(t, dir, Options{SegmentBytes: 32}) // every record rotates
+	s.Append([]byte("segment-one-record"))
+	s.Append([]byte("segment-two-record"))
+	s.Close()
+
+	segs, _ := listSeqs(dir, "wal-", ".log")
+	if len(segs) < 2 {
+		t.Fatalf("need ≥2 segments, got %d", len(segs))
+	}
+	// Flip one payload byte in the FIRST segment: damage before the
+	// tail is not a torn write and must refuse to recover.
+	path := filepath.Join(dir, segName(segs[0]))
+	data, _ := os.ReadFile(path)
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, _ := Open(dir, Options{})
+	if _, err := s2.Recover(nil, nil); err == nil {
+		t.Fatal("mid-log corruption recovered silently")
+	} else if !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("error does not name the corruption: %v", err)
+	}
+}
+
+func TestCorruptChecksumInFinalSegmentStopsReplay(t *testing.T) {
+	dir := t.TempDir()
+	s := openRecovered(t, dir, Options{})
+	s.Append([]byte("kept"))
+	s.Append([]byte("poisoned"))
+	s.Close()
+
+	segs, _ := listSeqs(dir, "wal-", ".log")
+	path := filepath.Join(dir, segName(segs[len(segs)-1]))
+	data, _ := os.ReadFile(path)
+	data[len(data)-1] ^= 0xff // corrupt the last record's payload
+	os.WriteFile(path, data, 0o644)
+
+	s2, _ := Open(dir, Options{})
+	var recs [][]byte
+	_, onRec := collect(new([]byte), &recs)
+	info, err := s2.Recover(nil, onRec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || string(recs[0]) != "kept" {
+		t.Fatalf("replay past a bad checksum: %q", recs)
+	}
+	if info.TruncatedBytes == 0 {
+		t.Fatal("checksum cut-off not reported")
+	}
+}
+
+func TestSnapshotVersionSkewRejected(t *testing.T) {
+	dir := t.TempDir()
+	s := openRecovered(t, dir, Options{})
+	seq, _ := s.Rotate()
+	if _, err := s.WriteSnapshot(seq, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Bump the snapshot's format version in place: an older snapshot
+	// meeting a newer binary (or vice versa) must be refused by name.
+	path := filepath.Join(dir, snapName(seq))
+	data, _ := os.ReadFile(path)
+	putU32(data[4:], FormatVersion+1)
+	os.WriteFile(path, data, 0o644)
+
+	s2, _ := Open(dir, Options{})
+	_, err := s2.Recover(nil, nil)
+	if err == nil {
+		t.Fatal("version skew recovered silently")
+	}
+	for _, want := range []string{"version", fmt.Sprint(FormatVersion + 1), fmt.Sprint(FormatVersion)} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("skew error %q does not mention %q", err, want)
+		}
+	}
+}
+
+func TestCorruptSnapshotRejected(t *testing.T) {
+	dir := t.TempDir()
+	s := openRecovered(t, dir, Options{})
+	seq, _ := s.Rotate()
+	s.WriteSnapshot(seq, []byte("good-state"))
+	s.Close()
+
+	path := filepath.Join(dir, snapName(seq))
+	data, _ := os.ReadFile(path)
+	data[len(data)-1] ^= 0xff
+	os.WriteFile(path, data, 0o644)
+
+	s2, _ := Open(dir, Options{})
+	if _, err := s2.Recover(nil, nil); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("corrupt snapshot: err = %v", err)
+	}
+}
+
+func TestAbandonedTempSnapshotIgnored(t *testing.T) {
+	dir := t.TempDir()
+	s := openRecovered(t, dir, Options{})
+	seq, _ := s.Rotate()
+	s.WriteSnapshot(seq, []byte("committed"))
+	s.Append([]byte("tail"))
+	s.Close()
+	// A crash mid-snapshot leaves a .tmp file; it must not shadow the
+	// committed snapshot, and reopening sweeps it (sequence numbers
+	// only advance, so nothing else would ever collect it).
+	tmp := filepath.Join(dir, snapName(seq+1)+".tmp")
+	os.WriteFile(tmp, []byte("garbage"), 0o644)
+
+	s2, _ := Open(dir, Options{})
+	var snap []byte
+	var recs [][]byte
+	onSnap, onRec := collect(&snap, &recs)
+	if _, err := s2.Recover(onSnap, onRec); err != nil {
+		t.Fatal(err)
+	}
+	if string(snap) != "committed" || len(recs) != 1 {
+		t.Fatalf("recovered %q + %q", snap, recs)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatal("orphaned snapshot temp file not swept on open")
+	}
+}
+
+func TestAppendBeforeRecoverRefused(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append([]byte("x")); err == nil {
+		t.Fatal("append before recovery accepted")
+	}
+	if _, err := s.WriteSnapshot(1, []byte("x")); err == nil {
+		t.Fatal("snapshot before recovery accepted")
+	}
+}
+
+// TestCrashInjectionEveryOffset simulates a crash at every byte of the
+// final segment: recovery must always succeed and always yield a prefix
+// of the appended records.
+func TestCrashInjectionEveryOffset(t *testing.T) {
+	dir := t.TempDir()
+	s := openRecovered(t, dir, Options{})
+	var want [][]byte
+	for i := 0; i < 8; i++ {
+		rec := []byte(fmt.Sprintf("crash-injection-record-%d", i))
+		want = append(want, rec)
+		s.Append(rec)
+	}
+	s.Close()
+	segs, _ := listSeqs(dir, "wal-", ".log")
+	src := filepath.Join(dir, segName(segs[0]))
+	whole, _ := os.ReadFile(src)
+
+	for cut := 0; cut <= len(whole); cut++ {
+		cdir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(cdir, segName(segs[0])), whole[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s2, _ := Open(cdir, Options{})
+		var recs [][]byte
+		_, onRec := collect(new([]byte), &recs)
+		if _, err := s2.Recover(nil, onRec); err != nil {
+			t.Fatalf("cut=%d: %v", cut, err)
+		}
+		if len(recs) > len(want) {
+			t.Fatalf("cut=%d: more records than written", cut)
+		}
+		for i := range recs {
+			if !bytes.Equal(recs[i], want[i]) {
+				t.Fatalf("cut=%d: record %d = %q, want prefix of original", cut, i, recs[i])
+			}
+		}
+		s2.Close()
+	}
+}
+
+// TestReopenNeverAppendsToTornSegment: after recovering a torn log, new
+// appends go to a fresh segment and a second recovery sees both the old
+// prefix and the new records.
+func TestReopenNeverAppendsToTornSegment(t *testing.T) {
+	dir := t.TempDir()
+	s := openRecovered(t, dir, Options{})
+	s.Append([]byte("old"))
+	s.Append([]byte("gone"))
+	s.Close()
+	segs, _ := listSeqs(dir, "wal-", ".log")
+	path := filepath.Join(dir, segName(segs[0]))
+	fi, _ := os.Stat(path)
+	os.Truncate(path, fi.Size()-3)
+
+	s2, _ := Open(dir, Options{})
+	if _, err := s2.Recover(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Append([]byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+
+	s3, _ := Open(dir, Options{})
+	var recs [][]byte
+	_, onRec := collect(new([]byte), &recs)
+	if _, err := s3.Recover(nil, onRec); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || string(recs[0]) != "old" || string(recs[1]) != "new" {
+		t.Fatalf("records after torn reopen: %q", recs)
+	}
+}

@@ -1,0 +1,149 @@
+package persist
+
+import (
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// RecoverInfo summarizes one recovery pass.
+type RecoverInfo struct {
+	// HadSnapshot reports whether a snapshot was loaded.
+	HadSnapshot bool
+	// SnapshotBytes is the loaded snapshot payload size.
+	SnapshotBytes int
+	// WALSeq is the segment sequence replay started from.
+	WALSeq uint64
+	// Records counts WAL records replayed on top of the snapshot.
+	Records int
+	// Segments counts WAL segments visited.
+	Segments int
+	// TruncatedBytes counts bytes cut off the final segment as a torn
+	// write (0 on a clean shutdown).
+	TruncatedBytes int64
+}
+
+// Recover loads the newest snapshot (delivered through snapshot, which
+// may be nil when the owner keeps no snapshot state) and replays the
+// WAL tail in append order through apply. It must be called once,
+// before any Append.
+//
+// A torn final record — a frame the crash cut short, detected by the
+// segment ending mid-frame or by a checksum mismatch — ends replay and
+// is reported in TruncatedBytes; it is the expected signature of a hard
+// kill. The same damage in any *non-final* segment means acknowledged
+// records were lost after their segment was sealed, which no crash
+// produces, so it fails recovery instead of being skipped.
+func (s *Store) Recover(snapshot func(payload []byte) error, apply func(record []byte) error) (RecoverInfo, error) {
+	s.mu.Lock()
+	if s.recovered {
+		s.mu.Unlock()
+		return RecoverInfo{}, fmt.Errorf("persist: Recover called twice")
+	}
+	s.recovered = true
+	s.mu.Unlock()
+
+	var info RecoverInfo
+	payload, walSeq, ok, err := loadSnapshot(s.dir)
+	if err != nil {
+		return info, err
+	}
+	if ok {
+		info.HadSnapshot = true
+		info.SnapshotBytes = len(payload)
+		info.WALSeq = walSeq
+		if snapshot != nil {
+			if err := snapshot(payload); err != nil {
+				return info, err
+			}
+		}
+	}
+
+	segs, err := listSeqs(s.dir, "wal-", ".log")
+	if err != nil {
+		return info, err
+	}
+	var replay []uint64
+	for _, seq := range segs {
+		if seq >= walSeq {
+			replay = append(replay, seq)
+		}
+	}
+	for i, seq := range replay {
+		if i > 0 && seq != replay[i-1]+1 {
+			return info, fmt.Errorf("persist: WAL gap: segment %d followed by %d", replay[i-1], seq)
+		}
+		final := i == len(replay)-1
+		n, truncated, err := s.replaySegment(seq, final, apply)
+		info.Records += n
+		info.Segments++
+		info.TruncatedBytes += truncated
+		if err != nil {
+			return info, err
+		}
+	}
+	return info, nil
+}
+
+// replaySegment applies every record of one segment. In the final
+// segment a broken frame is treated as a torn tail: it is cut off and
+// the file is repaired (truncated to its valid prefix, or removed when
+// not even the header survived) so that segments appended later never
+// turn an already-tolerated tear into mid-log corruption. In any
+// earlier segment the same damage fails recovery.
+func (s *Store) replaySegment(seq uint64, final bool, apply func([]byte) error) (records int, truncated int64, err error) {
+	name := segName(seq)
+	path := filepath.Join(s.dir, name)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, 0, fmt.Errorf("persist: %w", err)
+	}
+	torn := func(at int) (int, int64, error) {
+		if !final {
+			return records, 0, fmt.Errorf("persist: segment %s corrupt at offset %d with later segments present — acknowledged records would be lost; refusing to recover", name, at)
+		}
+		if at < segHeaderLen {
+			_ = os.Remove(path)
+		} else if err := os.Truncate(path, int64(at)); err != nil {
+			return records, 0, fmt.Errorf("persist: repairing torn segment %s: %w", name, err)
+		}
+		syncDir(s.dir)
+		return records, int64(len(data) - at), nil
+	}
+	if len(data) < segHeaderLen {
+		return torn(0)
+	}
+	if m := getU32(data); m != walMagic {
+		return 0, 0, fmt.Errorf("persist: segment %s has bad magic %#x", name, m)
+	}
+	if v := getU32(data[4:]); v != FormatVersion {
+		return 0, 0, fmt.Errorf("persist: segment %s has format version %d, this binary reads version %d — refusing to guess at its layout", name, v, FormatVersion)
+	}
+	if got := getU64(data[8:]); got != seq {
+		return 0, 0, fmt.Errorf("persist: segment %s carries sequence %d", name, got)
+	}
+	off := segHeaderLen
+	for off < len(data) {
+		if off+recHeaderLen > len(data) {
+			return torn(off)
+		}
+		n := int(getU32(data[off:]))
+		crc := getU32(data[off+4:])
+		if n <= 0 || n > maxRecordBytes || off+recHeaderLen+n > len(data) {
+			return torn(off)
+		}
+		payload := data[off+recHeaderLen : off+recHeaderLen+n]
+		if crc32.ChecksumIEEE(payload) != crc {
+			return torn(off)
+		}
+		if apply != nil {
+			if err := apply(payload); err != nil {
+				return records, 0, err
+			}
+		}
+		records++
+		off += recHeaderLen + n
+	}
+	return records, 0, nil
+}

@@ -21,6 +21,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/cophy"
 	"repro/internal/engine"
+	"repro/internal/persist"
 	"repro/internal/tpch"
 	"repro/internal/workload"
 )
@@ -55,6 +56,18 @@ type Config struct {
 	// solve over (the session's existing candidates plus the request's
 	// new ones). Zero means uncapped. Exceeding it answers 413.
 	MaxCandidates int
+	// Store, when non-nil, is the durability layer: accepted ingest
+	// batches and session changes are logged to its WAL, snapshots
+	// capture full state, and New recovers from it before serving —
+	// statements, weights, clocks, and a warm first solve all survive a
+	// restart. The daemon owns the store's record schema; the caller
+	// owns its lifetime (Close after shutdown flush).
+	Store *persist.Store
+	// AuthToken, when non-empty, requires `Authorization: Bearer
+	// <token>` on the mutating endpoints (/ingest, /recommend,
+	// /snapshot); a mismatch answers 401. Read-only endpoints stay
+	// open.
+	AuthToken string
 }
 
 // Daemon is the service core. All exported methods are safe for
@@ -73,10 +86,25 @@ type Daemon struct {
 	baseline      *engine.Config
 	reqTimeout    time.Duration
 	maxCandidates int
+	authToken     string
 
-	// sem (capacity 1) guards the session.
-	sem     chan struct{}
-	session *cophy.Session
+	// sem (capacity 1) guards the session; lastBudget (the budget knob
+	// of the most recent recommendation, persisted with the session
+	// state) is only touched under it.
+	sem        chan struct{}
+	session    *cophy.Session
+	lastBudget float64
+
+	// store is the durability layer (nil = memory-only). pMu orders
+	// additive WAL records against the snapshot cut: Ingest holds it
+	// across apply+append so a batch is atomic in the log exactly as it
+	// is in memory, and WriteSnapshot holds it across rotate+export so
+	// no acknowledged batch can be both inside the snapshot and in the
+	// surviving tail. snapMu serializes whole snapshots.
+	store    *persist.Store
+	pMu      sync.Mutex
+	snapMu   sync.Mutex
+	recovery RecoveryStats
 
 	// wiMu guards the what-if entry FIFO: the "whatif-<hash>" INUM
 	// entries are keyed by statement content, not stream ID, so the
@@ -86,11 +114,15 @@ type Daemon struct {
 	wiSeen  map[string]bool
 	wiOrder []string
 
-	ingested   atomic.Int64
-	whatifs    atomic.Int64
-	recommends atomic.Int64
-	evicted    atomic.Int64
-	rebases    atomic.Int64
+	ingested      atomic.Int64
+	whatifs       atomic.Int64
+	recommends    atomic.Int64
+	evicted       atomic.Int64
+	rebases       atomic.Int64
+	compactions   atomic.Int64
+	walRecords    atomic.Int64
+	snapshots     atomic.Int64
+	persistErrors atomic.Int64
 }
 
 // maxWhatIfEntries caps the distinct what-if statements whose template
@@ -121,6 +153,7 @@ func New(cfg Config) (*Daemon, error) {
 		baseline:      engine.NewConfig(tpch.BaselineIndexes(cfg.Catalog)...),
 		reqTimeout:    cfg.RequestTimeout,
 		maxCandidates: cfg.MaxCandidates,
+		authToken:     cfg.AuthToken,
 		sem:           make(chan struct{}, 1),
 	}
 	// Memory bound, first slice: when decay evicts a statement from the
@@ -130,6 +163,14 @@ func New(cfg Config) (*Daemon, error) {
 	d.stream.OnEvict(func(id string) {
 		d.evicted.Add(int64(d.ad.Inum.Evict(id)))
 	})
+	// Warm restart: rebuild the stream, counters, INUM cache and
+	// session warm state from the data directory before serving.
+	if cfg.Store != nil {
+		d.store = cfg.Store
+		if err := d.recover(); err != nil {
+			return nil, err
+		}
+	}
 	return d, nil
 }
 
@@ -146,11 +187,34 @@ type IngestResult struct {
 // Ingest parses a batch of SQL-ish statements and folds them into the
 // live workload. weightScale, when positive, multiplies every parsed
 // statement weight (a cheap way to replay traces with importance).
-// Each batch advances the decay clock by one tick.
+// Each batch advances the decay clock by one tick. With a store
+// configured, every accepted batch is logged to the WAL before the
+// call returns, so a restart replays it deterministically — same
+// statements, same IDs, same decay and evictions.
 func (d *Daemon) Ingest(sql string, weightScale float64) (IngestResult, error) {
+	return d.applyIngest(sql, weightScale, d.store != nil)
+}
+
+// applyIngest is Ingest's body; recovery replays WAL records through
+// it with record=false. The persistence mutex makes each batch atomic
+// in the log exactly as it is in memory: batches serialize against
+// each other and against the snapshot cut, so replay reproduces the
+// live application order. The record is appended *before* the batch
+// is applied (log-before-apply): a failed append rejects the batch
+// untouched — a client retry then applies it once, not twice — and a
+// crash between append and apply merely replays a record whose effects
+// never happened.
+func (d *Daemon) applyIngest(sql string, weightScale float64, record bool) (IngestResult, error) {
 	w, err := workload.Parse(d.cat, sql)
 	if err != nil {
 		return IngestResult{}, err
+	}
+	d.pMu.Lock()
+	if record {
+		if err := d.appendWAL(walRecord{Type: "ingest", SQL: sql, Scale: weightScale}); err != nil {
+			d.pMu.Unlock()
+			return IngestResult{}, err
+		}
 	}
 	for _, s := range w.Statements {
 		if weightScale > 0 {
@@ -159,7 +223,11 @@ func (d *Daemon) Ingest(sql string, weightScale float64) (IngestResult, error) {
 		d.stream.Observe(s)
 	}
 	d.stream.Tick()
+	// Still under pMu: a snapshot cut between the stream mutation and
+	// this add would otherwise persist an undercounted ingested stat
+	// that recovery makes permanent.
 	d.ingested.Add(int64(w.Size()))
+	d.pMu.Unlock()
 	return IngestResult{
 		Accepted: w.Size(),
 		Live:     d.stream.Len(),
@@ -304,10 +372,7 @@ func (d *Daemon) Recommend(ctx context.Context, opts RecommendOptions) (Recommen
 	if w.Size() == 0 {
 		return RecommendResult{}, fmt.Errorf("server: no workload ingested yet")
 	}
-	cons := cophy.NoConstraints()
-	if opts.BudgetFraction > 0 {
-		cons = cophy.FractionOfData(d.cat, opts.BudgetFraction)
-	}
+	cons := d.consFor(opts.BudgetFraction)
 	cands := cophy.Candidates(d.cat, w, d.cgen)
 
 	if err := ctx.Err(); err != nil {
@@ -321,19 +386,39 @@ func (d *Daemon) Recommend(ctx context.Context, opts RecommendOptions) (Recommen
 	}
 
 	// The session's candidate positions are append-only (they anchor
-	// the solver's z variables), so the cap is judged against the union
-	// the request would actually solve over. A request whose own
-	// candidate set exceeds the cap is the caller's problem: 413. A
-	// union that exceeds it only because the session has accumulated
-	// candidates of long-evicted statements is the daemon's: the
-	// session is rebased (dropped for a cold re-session over the live
-	// candidates) instead of wedging every future request — the
-	// threshold-triggered slice of the ROADMAP's compaction story.
-	if d.maxCandidates > 0 {
-		own := make(map[string]bool, len(cands))
-		for _, ix := range cands {
-			own[ix.ID()] = true
+	// the solver's z variables), so dead candidates — ones no live
+	// statement generates anymore — keep their z variables until the
+	// session is rebuilt. Two policies bound that growth, in order of
+	// preference:
+	//
+	// Compaction (warm): when the dead candidates outnumber the live
+	// ones — cheap to detect, one set intersection — the session is
+	// rebased onto the live candidate set with the surviving
+	// multipliers carried across by block label and position remap, so
+	// the next solve stays warm.
+	//
+	// Rebase (cold): with a candidate cap configured, a request whose
+	// own candidate set exceeds it is the caller's problem (413); a
+	// union over the cap that compaction could not fix (the session is
+	// cold, nothing to carry) drops the session for a cold re-session
+	// over the live candidates instead of wedging every future request.
+	own := make(map[string]bool, len(cands))
+	for _, ix := range cands {
+		own[ix.ID()] = true
+	}
+	if d.session != nil && d.session.Warm() {
+		dead := 0
+		for _, ix := range d.session.Candidates() {
+			if !own[ix.ID()] {
+				dead++
+			}
 		}
+		if live := len(d.session.Candidates()) - dead; dead > live {
+			d.session.Compact(cands)
+			d.compactions.Add(1)
+		}
+	}
+	if d.maxCandidates > 0 {
 		if len(own) > d.maxCandidates {
 			return RecommendResult{}, fmt.Errorf("server: %w: %d > %d", ErrTooManyCandidates, len(own), d.maxCandidates)
 		}
@@ -341,7 +426,6 @@ func (d *Daemon) Recommend(ctx context.Context, opts RecommendOptions) (Recommen
 			union := len(own)
 			for _, ix := range d.session.Candidates() {
 				if !own[ix.ID()] {
-					own[ix.ID()] = true
 					union++
 				}
 			}
@@ -380,6 +464,19 @@ func (d *Daemon) Recommend(ctx context.Context, opts RecommendOptions) (Recommen
 		return RecommendResult{}, err
 	}
 	d.recommends.Add(1)
+	d.lastBudget = opts.BudgetFraction
+	// Log the post-solve session state — candidates, constraint knob,
+	// duals, incumbent — as an absolute WAL record, so a hard kill any
+	// time after this response still restarts with a warm first solve.
+	// Best-effort by design: the recommendation itself was computed and
+	// is returned; losing its warmth to a disk error costs a cold
+	// re-solve, not correctness.
+	if d.store != nil && !res.Infeasible {
+		if st := d.sessionStateLocked(opts.BudgetFraction); st != nil {
+			// appendWAL counts the failure in persist_errors.
+			_ = d.appendWAL(walRecord{Type: "session", Session: st})
+		}
+	}
 
 	out := RecommendResult{
 		EstCost:      res.EstCost,
@@ -403,37 +500,59 @@ func (d *Daemon) Recommend(ctx context.Context, opts RecommendOptions) (Recommen
 
 // Stats is the daemon's observability snapshot.
 type Stats struct {
-	Live       int   `json:"live_statements"`
-	Observed   int64 `json:"observed_statements"`
-	Ticks      int64 `json:"decay_ticks"`
-	Ingested   int64 `json:"ingested"`
-	WhatIfs    int64 `json:"whatifs"`
-	Recommends int64 `json:"recommends"`
+	Live       int     `json:"live_statements"`
+	LiveWeight float64 `json:"live_weight"`
+	Observed   int64   `json:"observed_statements"`
+	Ticks      int64   `json:"decay_ticks"`
+	Ingested   int64   `json:"ingested"`
+	WhatIfs    int64   `json:"whatifs"`
+	Recommends int64   `json:"recommends"`
 	// PreparedQueries and PrepCalls expose the INUM cache state;
 	// EvictedEntries counts cache entries dropped by stream eviction.
 	PreparedQueries int   `json:"prepared_queries"`
 	PrepCalls       int64 `json:"prep_calls"`
 	EvictedEntries  int64 `json:"evicted_entries"`
 	// SessionRebases counts cold re-sessions forced by the candidate
-	// cap (accumulated dead candidates compacted away).
-	SessionRebases int64 `json:"session_rebases"`
+	// cap; SessionCompactions counts warm rebases onto the live
+	// candidate set (dead candidates outnumbered live ones and the
+	// multipliers were carried across).
+	SessionRebases     int64 `json:"session_rebases"`
+	SessionCompactions int64 `json:"session_compactions"`
+	// WALRecords / SnapshotsWritten / PersistErrors expose the
+	// durability layer — always present, so "zero errors" never reads
+	// as a missing key; Recovery describes what the last restart
+	// rebuilt and is absent when no data directory is configured.
+	WALRecords       int64          `json:"wal_records"`
+	SnapshotsWritten int64          `json:"snapshots_written"`
+	PersistErrors    int64          `json:"persist_errors"`
+	Recovery         *RecoveryStats `json:"recovery,omitempty"`
 }
 
 // Snapshot returns current counters.
 func (d *Daemon) Snapshot() Stats {
 	calls, _ := d.ad.Inum.PrepStats()
-	return Stats{
-		Live:            d.stream.Len(),
-		Observed:        d.stream.Observed(),
-		Ticks:           d.stream.Ticks(),
-		Ingested:        d.ingested.Load(),
-		WhatIfs:         d.whatifs.Load(),
-		Recommends:      d.recommends.Load(),
-		PreparedQueries: d.ad.Inum.Prepared(),
-		PrepCalls:       calls,
-		EvictedEntries:  d.evicted.Load(),
-		SessionRebases:  d.rebases.Load(),
+	st := Stats{
+		Live:               d.stream.Len(),
+		LiveWeight:         d.stream.LiveWeight(),
+		Observed:           d.stream.Observed(),
+		Ticks:              d.stream.Ticks(),
+		Ingested:           d.ingested.Load(),
+		WhatIfs:            d.whatifs.Load(),
+		Recommends:         d.recommends.Load(),
+		PreparedQueries:    d.ad.Inum.Prepared(),
+		PrepCalls:          calls,
+		EvictedEntries:     d.evicted.Load(),
+		SessionRebases:     d.rebases.Load(),
+		SessionCompactions: d.compactions.Load(),
+		WALRecords:         d.walRecords.Load(),
+		SnapshotsWritten:   d.snapshots.Load(),
+		PersistErrors:      d.persistErrors.Load(),
 	}
+	if d.store != nil {
+		rec := d.recovery
+		st.Recovery = &rec
+	}
+	return st
 }
 
 // fnvHex is a 64-bit FNV-1a hash rendered as hex.

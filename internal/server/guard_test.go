@@ -150,11 +150,13 @@ func TestRecommendTooManyCandidates(t *testing.T) {
 	}
 }
 
-// TestRecommendRebasesInsteadOfWedging: when the candidate cap is
-// exceeded only because the session accumulated candidates of evicted
-// statements, the daemon rebases the session (cold re-solve over the
-// live candidates) rather than answering 413 forever.
-func TestRecommendRebasesInsteadOfWedging(t *testing.T) {
+// TestRecommendCompactsInsteadOfWedging: when the live workload shifts
+// so far that the session's accumulated candidates are mostly dead,
+// the daemon compacts the session onto the live candidate set — warm,
+// multipliers carried by block label — instead of wedging on the cap
+// (and instead of the old cold rebase, which forfeited the warm
+// state).
+func TestRecommendCompactsInsteadOfWedging(t *testing.T) {
 	cat := tpch.Build(tpch.Config{ScaleFactor: 0.05})
 	wA := workload.Het(workload.HetConfig{Queries: 8, Seed: 5})
 	wB := workload.Hom(workload.HomConfig{Queries: 6, Seed: 21})
@@ -197,13 +199,48 @@ func TestRecommendRebasesInsteadOfWedging(t *testing.T) {
 	var second RecommendResult
 	resp := post(t, srv, "/recommend", RecommendOptions{BudgetFraction: 0.5}, &second)
 	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("recommend after mix shift: status %d, want 200 via rebase", resp.StatusCode)
+		t.Fatalf("recommend after mix shift: status %d, want 200 via compaction", resp.StatusCode)
 	}
-	if second.Warm {
-		t.Fatal("rebased solve should be cold")
+	if !second.Warm {
+		t.Fatal("compacted solve should stay warm (multipliers carried by block label)")
 	}
 	if second.Candidates > cap {
-		t.Fatalf("rebased session still over cap: %d > %d", second.Candidates, cap)
+		t.Fatalf("compacted session still over cap: %d > %d", second.Candidates, cap)
+	}
+	st := d.Snapshot()
+	if st.SessionCompactions == 0 {
+		t.Fatal("compaction counter never moved")
+	}
+	if st.SessionRebases != 0 {
+		t.Fatal("compaction should have made the cold rebase unnecessary")
+	}
+}
+
+// TestRecommendRebasesColdSession: the cold-rebase fallback still
+// exists for a session with no warm state to carry — over the cap it
+// is dropped for a cold re-session instead of wedging 413.
+func TestRecommendRebasesColdSession(t *testing.T) {
+	d := testDaemonWith(t, func(c *Config) { c.MaxCandidates = 4096 })
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+
+	gen := workload.Hom(workload.HomConfig{Queries: 6, Seed: 8})
+	post(t, srv, "/ingest", ingestRequest{SQL: renderSQL(gen)}, nil)
+
+	// A cold session (never solved) bloated past the cap with
+	// candidates no live statement generates.
+	pad := cophy.RandomIndexes(d.cat, d.maxCandidates+8, 3)
+	d.session = d.ad.NewSession(d.stream.Snapshot(), pad, cophy.NoConstraints())
+	if d.session.Warm() {
+		t.Fatal("fixture session unexpectedly warm")
+	}
+
+	var rec RecommendResult
+	if resp := post(t, srv, "/recommend", RecommendOptions{BudgetFraction: 0.5}, &rec); resp.StatusCode != http.StatusOK {
+		t.Fatalf("recommend over bloated cold session: status %d, want 200 via rebase", resp.StatusCode)
+	}
+	if rec.Warm {
+		t.Fatal("rebased solve should be cold")
 	}
 	if d.Snapshot().SessionRebases == 0 {
 		t.Fatal("rebase counter never moved")
@@ -263,5 +300,101 @@ func TestRecommendCancelledWhileLocked(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("cancelled request blocked on the session lock")
+	}
+}
+
+// authedPost posts with an optional bearer token and returns status +
+// decoded JSON body.
+func authedPost(t *testing.T, srv *httptest.Server, path, token string, body any) (int, map[string]any) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, srv.URL+path, bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var decoded map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&decoded); err != nil {
+		t.Fatalf("%s: body not JSON: %v", path, err)
+	}
+	return resp.StatusCode, decoded
+}
+
+// TestAuthTokenGuardsMutatingEndpoints: with -auth-token set, /ingest,
+// /recommend and /snapshot demand the bearer token (401 JSON
+// otherwise), while the read-only endpoints stay open.
+func TestAuthTokenGuardsMutatingEndpoints(t *testing.T) {
+	d := testDaemonWith(t, func(c *Config) { c.AuthToken = "s3cret" })
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+
+	gen := workload.Hom(workload.HomConfig{Queries: 4, Seed: 2})
+	body := ingestRequest{SQL: renderSQL(gen)}
+
+	for _, tc := range []struct {
+		path  string
+		body  any
+		token string
+		want  int
+	}{
+		{"/ingest", body, "", http.StatusUnauthorized},
+		{"/ingest", body, "wrong", http.StatusUnauthorized},
+		{"/ingest", body, "s3cret", http.StatusOK},
+		{"/recommend", RecommendOptions{BudgetFraction: 0.5}, "", http.StatusUnauthorized},
+		{"/recommend", RecommendOptions{BudgetFraction: 0.5}, "s3cret", http.StatusOK},
+		{"/snapshot", struct{}{}, "", http.StatusUnauthorized},
+		// /snapshot with the right token still fails 422-free: no data
+		// dir is configured, which is the daemon's problem to report,
+		// not an auth outcome.
+	} {
+		status, decoded := authedPost(t, srv, tc.path, tc.token, tc.body)
+		if status != tc.want {
+			t.Fatalf("%s token=%q: status %d, want %d", tc.path, tc.token, status, tc.want)
+		}
+		if status == http.StatusUnauthorized {
+			if msg, _ := decoded["error"].(string); msg == "" {
+				t.Fatalf("%s: 401 without a JSON error body: %v", tc.path, decoded)
+			}
+			// An unauthorized mutation must not have mutated.
+			if d.Snapshot().Ingested != 0 && tc.path == "/ingest" && tc.token != "s3cret" {
+				t.Fatal("unauthorized ingest was applied")
+			}
+		}
+	}
+
+	// Read-only endpoints stay open without a token.
+	resp, err := srv.Client().Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/stats without token: status %d", resp.StatusCode)
+	}
+	status, _ := authedPost(t, srv, "/whatif", "", whatIfRequest{SQL: "SELECT l_quantity FROM lineitem;"})
+	if status != http.StatusOK {
+		t.Fatalf("/whatif without token: status %d", status)
+	}
+}
+
+// TestAuthDisabledByDefault: with no token configured nothing demands
+// authorization — the pre-auth behavior is unchanged.
+func TestAuthDisabledByDefault(t *testing.T) {
+	d := testDaemonWith(t, nil)
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+	gen := workload.Hom(workload.HomConfig{Queries: 2, Seed: 2})
+	if status, _ := authedPost(t, srv, "/ingest", "", ingestRequest{SQL: renderSQL(gen)}); status != http.StatusOK {
+		t.Fatalf("tokenless daemon rejected ingest: %d", status)
 	}
 }

@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -59,18 +60,22 @@ type whatIfRequest struct {
 //	POST /ingest    {"sql": "...; ...", "weight_scale": 2}  → IngestResult
 //	POST /whatif    {"sql": "...", "indexes": [...]}        → WhatIfResult
 //	POST /recommend {"budget_fraction": 0.5}                → RecommendResult
+//	POST /snapshot  (empty body)                            → SnapshotResult
 //	GET  /stats                                             → Stats
 //	GET  /healthz                                           → 200 ok
+//
+// With an auth token configured, the mutating endpoints (/ingest,
+// /recommend, /snapshot) require `Authorization: Bearer <token>`.
 func (d *Daemon) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /ingest", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /ingest", d.guard(func(w http.ResponseWriter, r *http.Request) {
 		var req ingestRequest
 		if !decode(w, r, &req) {
 			return
 		}
 		res, err := d.Ingest(req.SQL, req.WeightScale)
 		reply(w, res, err)
-	})
+	}))
 	mux.HandleFunc("POST /whatif", func(w http.ResponseWriter, r *http.Request) {
 		var req whatIfRequest
 		if !decode(w, r, &req) {
@@ -83,7 +88,7 @@ func (d *Daemon) Handler() http.Handler {
 		res, err := d.WhatIf(req.SQL, indexes)
 		reply(w, res, err)
 	})
-	mux.HandleFunc("POST /recommend", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /recommend", d.guard(func(w http.ResponseWriter, r *http.Request) {
 		var req RecommendOptions
 		if !decode(w, r, &req) {
 			return
@@ -99,7 +104,13 @@ func (d *Daemon) Handler() http.Handler {
 		}
 		res, err := d.Recommend(ctx, req)
 		reply(w, res, err)
-	})
+	}))
+	mux.HandleFunc("POST /snapshot", d.guard(func(w http.ResponseWriter, r *http.Request) {
+		// Admin: force a durable snapshot now (before a deploy, after a
+		// bulk load) instead of waiting for the periodic one.
+		res, err := d.WriteSnapshot(r.Context())
+		reply(w, res, err)
+	}))
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		reply(w, d.Snapshot(), nil)
 	})
@@ -108,6 +119,26 @@ func (d *Daemon) Handler() http.Handler {
 		fmt.Fprintln(w, "ok")
 	})
 	return mux
+}
+
+// guard wraps a mutating handler with the optional bearer-token check
+// (the ROADMAP's minimal daemon-auth slice). Comparison is
+// constant-time; a mismatch answers 401 with a JSON error body and a
+// WWW-Authenticate challenge.
+func (d *Daemon) guard(h http.HandlerFunc) http.HandlerFunc {
+	if d.authToken == "" {
+		return h
+	}
+	want := []byte("Bearer " + d.authToken)
+	return func(w http.ResponseWriter, r *http.Request) {
+		got := []byte(r.Header.Get("Authorization"))
+		if subtle.ConstantTimeCompare(got, want) != 1 {
+			w.Header().Set("WWW-Authenticate", `Bearer realm="cophyd"`)
+			writeError(w, http.StatusUnauthorized, errors.New("missing or invalid bearer token"))
+			return
+		}
+		h(w, r)
+	}
 }
 
 // decode reads a JSON body, answering 400 on malformed input.
@@ -124,8 +155,10 @@ func decode(w http.ResponseWriter, r *http.Request, into any) bool {
 // reply writes a JSON response. Errors map by kind: a dead request
 // context (deadline or client cancellation) is 503 — the service is
 // fine, this request ran out of time; an over-cap candidate set is
-// 413; everything else is 422 (the request was well-formed but not
-// servable: parse errors, unknown tables, empty workload).
+// 413; a durability-layer write failure is 500 (the request was fine,
+// the disk was not); everything else is 422 (the request was
+// well-formed but not servable: parse errors, unknown tables, empty
+// workload).
 func reply(w http.ResponseWriter, res any, err error) {
 	if err != nil {
 		switch {
@@ -133,6 +166,8 @@ func reply(w http.ResponseWriter, res any, err error) {
 			writeError(w, http.StatusServiceUnavailable, err)
 		case errors.Is(err, ErrTooManyCandidates):
 			writeError(w, http.StatusRequestEntityTooLarge, err)
+		case errors.Is(err, ErrPersist):
+			writeError(w, http.StatusInternalServerError, err)
 		default:
 			writeError(w, http.StatusUnprocessableEntity, err)
 		}

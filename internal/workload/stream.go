@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sync"
+
+	"repro/internal/catalog"
 )
 
 // StreamConfig tunes a Stream.
@@ -168,6 +170,97 @@ func (st *Stream) LiveIDs() map[string]bool {
 		ids[e.st.ID()] = true
 	}
 	return ids
+}
+
+// StreamEntry is the portable form of one live statement: its
+// canonical rendering (the parser dialect round-trips it), its stable
+// ID and its current decayed weight.
+type StreamEntry struct {
+	SQL    string  `json:"sql"`
+	ID     string  `json:"id"`
+	Weight float64 `json:"weight"`
+}
+
+// StreamState is the portable form of a Stream — everything Restore
+// needs to rebuild an equivalent aggregator: the live entries in
+// first-seen order, the ID allocator position and the clocks. Weights
+// are exact (float64 survives JSON round-trips bit-for-bit), so a
+// restored stream decays and evicts on exactly the same Ticks the
+// original would have.
+type StreamState struct {
+	Entries  []StreamEntry `json:"entries"`
+	NextID   int           `json:"next_id"`
+	Observed int64         `json:"observed"`
+	Ticks    int64         `json:"ticks"`
+}
+
+// Export captures the stream's state for persistence.
+func (st *Stream) Export() StreamState {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	state := StreamState{
+		Entries:  make([]StreamEntry, len(st.order)),
+		NextID:   st.nextID,
+		Observed: st.observed,
+		Ticks:    st.ticks,
+	}
+	for i, e := range st.order {
+		state.Entries[i] = StreamEntry{SQL: e.st.String(), ID: e.st.ID(), Weight: e.weight}
+	}
+	return state
+}
+
+// Restore rebuilds the stream from an exported state, re-parsing each
+// entry's canonical rendering against the catalog and pinning its
+// original ID and decayed weight. The stream must be empty (freshly
+// constructed); statements observed after Restore merge with the
+// restored entries exactly as they would have pre-export, and the ID
+// allocator resumes where it left off so replayed observations mint the
+// same IDs they were first given.
+func (st *Stream) Restore(cat *catalog.Catalog, state StreamState) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if len(st.entries) != 0 || st.observed != 0 {
+		return fmt.Errorf("workload: Restore into a non-empty stream")
+	}
+	for i, ent := range state.Entries {
+		w, err := Parse(cat, ent.SQL+";")
+		if err != nil {
+			return fmt.Errorf("workload: restore entry %d: %w", i, err)
+		}
+		if w.Size() != 1 {
+			return fmt.Errorf("workload: restore entry %d: %q is %d statements", i, ent.SQL, w.Size())
+		}
+		s := w.Statements[0]
+		if s.Query != nil {
+			s.Query.ID = ent.ID
+		} else {
+			s.Update.ID = ent.ID
+		}
+		s.Weight = ent.Weight
+		key := s.String()
+		if _, dup := st.entries[key]; dup {
+			return fmt.Errorf("workload: restore entry %d: duplicate statement %q", i, key)
+		}
+		e := &streamEntry{st: s, weight: ent.Weight}
+		st.entries[key] = e
+		st.order = append(st.order, e)
+	}
+	st.nextID = state.NextID
+	st.observed = state.Observed
+	st.ticks = state.Ticks
+	return nil
+}
+
+// LiveWeight returns the summed decayed weight of the live workload.
+func (st *Stream) LiveWeight() float64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var sum float64
+	for _, e := range st.order {
+		sum += e.weight
+	}
+	return sum
 }
 
 // Len returns the number of live (distinct, unevicted) statements.

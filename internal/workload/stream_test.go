@@ -146,3 +146,84 @@ func TestStreamConcurrentObserve(t *testing.T) {
 		t.Fatalf("observed = %d, want 160", st.Observed())
 	}
 }
+
+// TestStreamExportRestoreRoundTrip: a restored stream is
+// indistinguishable from the original — same entries in the same order
+// with the same IDs and exact weights, the same clocks, and the same
+// future behavior (merging, ID allocation, decay eviction).
+func TestStreamExportRestoreRoundTrip(t *testing.T) {
+	cat := tpch.Build(tpch.Config{ScaleFactor: 0.01})
+	st := NewStream(StreamConfig{HalfLife: 2, MinWeight: 0.3})
+	sql := "SELECT l_quantity FROM lineitem WHERE l_shipdate < :0.3 WEIGHT 3;" +
+		"SELECT o_totalprice FROM orders WHERE o_orderdate < :0.4;" +
+		"UPDATE lineitem SET l_quantity = :v WHERE l_orderkey < :0.1 WEIGHT 2;"
+	for _, s := range streamStatements(t, sql) {
+		st.Observe(s)
+	}
+	st.Tick()
+
+	state := st.Export()
+	if len(state.Entries) != 3 || state.Ticks != 1 || state.Observed != 3 {
+		t.Fatalf("export %+v", state)
+	}
+
+	re := NewStream(StreamConfig{HalfLife: 2, MinWeight: 0.3})
+	if err := re.Restore(cat, state); err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != st.Len() || re.Observed() != st.Observed() || re.Ticks() != st.Ticks() {
+		t.Fatalf("clocks differ: %d/%d/%d vs %d/%d/%d",
+			re.Len(), re.Observed(), re.Ticks(), st.Len(), st.Observed(), st.Ticks())
+	}
+	a, b := st.Snapshot(), re.Snapshot()
+	for i := range a.Statements {
+		if a.Statements[i].ID() != b.Statements[i].ID() {
+			t.Fatalf("entry %d: ID %s vs %s", i, a.Statements[i].ID(), b.Statements[i].ID())
+		}
+		if a.Statements[i].Weight != b.Statements[i].Weight {
+			t.Fatalf("entry %d: weight %v vs %v", i, a.Statements[i].Weight, b.Statements[i].Weight)
+		}
+	}
+
+	// A re-observation of a known statement must merge with the
+	// restored entry, not mint a new one.
+	dup := streamStatements(t, "SELECT o_totalprice FROM orders WHERE o_orderdate < :0.4;")[0]
+	if id := re.Observe(dup); id != a.Statements[1].ID() {
+		t.Fatalf("re-observation minted %s, want %s", id, a.Statements[1].ID())
+	}
+	// A new statement resumes the ID allocator, not restarts it.
+	fresh := streamStatements(t, "SELECT c_name FROM customer WHERE c_mktsegment = :0.5;")[0]
+	freshID := re.Observe(fresh)
+	for _, s := range a.Statements {
+		if s.ID() == freshID {
+			t.Fatalf("restored stream reissued live ID %s", freshID)
+		}
+	}
+
+	// Decay parity: both streams evict the same statements on the same
+	// ticks (the replay-over-eviction invariant).
+	st.Observe(streamStatements(t, "SELECT o_totalprice FROM orders WHERE o_orderdate < :0.4;")[0])
+	st.Observe(streamStatements(t, "SELECT c_name FROM customer WHERE c_mktsegment = :0.5;")[0])
+	for i := 0; i < 4; i++ {
+		st.Tick()
+		re.Tick()
+	}
+	if st.Len() != re.Len() {
+		t.Fatalf("post-restore decay diverged: %d vs %d live", st.Len(), re.Len())
+	}
+	sa, sb := st.Snapshot(), re.Snapshot()
+	for i := range sa.Statements {
+		if sa.Statements[i].ID() != sb.Statements[i].ID() || sa.Statements[i].Weight != sb.Statements[i].Weight {
+			t.Fatalf("post-restore entry %d diverged", i)
+		}
+	}
+}
+
+func TestStreamRestoreRefusesNonEmpty(t *testing.T) {
+	cat := tpch.Build(tpch.Config{ScaleFactor: 0.01})
+	st := NewStream(StreamConfig{})
+	st.Observe(streamStatements(t, "SELECT l_quantity FROM lineitem;")[0])
+	if err := st.Restore(cat, StreamState{}); err == nil {
+		t.Fatal("restore into a live stream accepted")
+	}
+}

@@ -89,4 +89,72 @@ EOF
 STATS=$(curl -fsS "$BASE/stats")
 echo "$STATS" | grep -q '"recommends": 2' || fail "stats should count 2 recommends" "$STATS"
 
-echo "cophyd smoke test PASSED"
+kill $PID 2>/dev/null || true
+
+# --- Durability phase: kill -9 mid-run, restart from -data-dir, and
+# require the recovered daemon to match the pre-kill state and solve
+# its first recommendation warm.
+
+DATA=$(mktemp -d)
+LOG2=$(mktemp)
+TOKEN=smoke-secret
+"$BIN" -addr 127.0.0.1:0 -scale 0.05 -gap 0.05 -data-dir "$DATA" -auth-token "$TOKEN" >"$LOG2" 2>&1 &
+PID2=$!
+trap 'kill -9 $PID $PID2 2>/dev/null || true' EXIT
+
+ADDR2=""
+for _ in $(seq 1 50); do
+  ADDR2=$(sed -n 's/^cophyd listening on //p' "$LOG2" | head -1)
+  [ -n "$ADDR2" ] && break
+  sleep 0.1
+done
+[ -n "$ADDR2" ] || { echo "durable cophyd did not start" >&2; cat "$LOG2" >&2; exit 1; }
+BASE2="http://$ADDR2"
+AUTH="Authorization: Bearer $TOKEN"
+
+# Mutations demand the token; reads do not.
+NOAUTH=$(curl -s -o /dev/null -w '%{http_code}' -X POST "$BASE2/ingest" -d '{"sql": "SELECT l_quantity FROM lineitem;"}')
+[ "$NOAUTH" = "401" ] || fail "tokenless ingest should be 401, got $NOAUTH" ""
+curl -fsS "$BASE2/stats" >/dev/null
+
+curl -fsS -H "$AUTH" -X POST "$BASE2/ingest" -d '{
+  "sql": "SELECT l_extendedprice FROM lineitem WHERE l_shipdate BETWEEN :0.2 AND :0.3 WEIGHT 5; SELECT o_totalprice FROM orders WHERE o_orderdate < :0.4 WEIGHT 3; SELECT c_name FROM customer WHERE c_mktsegment = :0.3;"
+}' >/dev/null
+curl -fsS -H "$AUTH" -X POST "$BASE2/recommend" -d '{"budget_fraction": 0.5}' >/dev/null
+PRE=$(curl -fsS "$BASE2/stats")
+PRE_LIVE=$(echo "$PRE" | python3 -c 'import json,sys; print(json.load(sys.stdin)["live_statements"])')
+PRE_WEIGHT=$(echo "$PRE" | python3 -c 'import json,sys; print(json.load(sys.stdin)["live_weight"])')
+
+kill -9 $PID2
+wait $PID2 2>/dev/null || true
+
+"$BIN" -addr 127.0.0.1:0 -scale 0.05 -gap 0.05 -data-dir "$DATA" -auth-token "$TOKEN" >"$LOG2" 2>&1 &
+PID2=$!
+ADDR3=""
+for _ in $(seq 1 50); do
+  ADDR3=$(sed -n 's/^cophyd listening on //p' "$LOG2" | head -1)
+  [ -n "$ADDR3" ] && break
+  sleep 0.1
+done
+[ -n "$ADDR3" ] || { echo "restarted cophyd did not come up" >&2; cat "$LOG2" >&2; exit 1; }
+grep -q "cophyd recovered" "$LOG2" || fail "restart printed no recovery line" "$(cat "$LOG2")"
+BASE3="http://$ADDR3"
+
+POST=$(curl -fsS "$BASE3/stats")
+python3 - "$PRE_LIVE" "$PRE_WEIGHT" "$POST" <<'EOF'
+import json, sys
+live, weight, stats = int(sys.argv[1]), float(sys.argv[2]), json.loads(sys.argv[3])
+assert stats["live_statements"] == live, (stats["live_statements"], live)
+assert stats["live_weight"] == weight, (stats["live_weight"], weight)
+assert stats["recovery"]["warm_session"] is True, stats["recovery"]
+EOF
+
+REC3=$(curl -fsS -H "$AUTH" -X POST "$BASE3/recommend" -d '{"budget_fraction": 0.5}')
+python3 - "$REC3" <<'EOF'
+import json, sys
+r = json.loads(sys.argv[1])
+assert r["warm"] is True, r
+assert not r.get("infeasible"), r
+EOF
+
+echo "cophyd smoke test PASSED (including kill -9 + warm restart)"
