@@ -99,6 +99,14 @@ type Result struct {
 	Gap float64
 	// Nodes is the number of explored nodes.
 	Nodes int
+	// NumericFallbacks counts node LP solves that hit a numerical
+	// failure in the sparse simplex and were finished by the dense
+	// oracle (lp.Solution.NumericFallback) — observability for flaky
+	// bases, threaded up to the daemon's /stats.
+	NumericFallbacks int
+	// WarmDowngrades counts node LP solves whose parent warm basis was
+	// numerically defeated and installed cold instead.
+	WarmDowngrades int
 }
 
 // intTol is the integrality tolerance.
@@ -121,8 +129,8 @@ type node struct {
 	// re-solve warm-starts there and pivots from a near-optimal point
 	// instead of running Phase 1 from scratch. Because a bound flip
 	// never changes the basis *matrix*, the basis also carries the
-	// parent's factorization (lp.Basis's eta-file snapshot, keyed by
-	// the Clone-shared matrix stamp): the child adopts it outright and
+	// parent's factorization (lp.Basis's LU snapshot, keyed by the
+	// Clone-shared matrix stamp): the child adopts it outright and
 	// installs the warm start in O(nnz) with no re-pivoting.
 	basis *lp.Basis
 }
@@ -131,9 +139,12 @@ type node struct {
 func Solve(m Model, opts Options) Result {
 	start := time.Now()
 	var (
-		incumbent []float64
-		incObj    = math.Inf(1)
-		nodes     int
+		incumbent      []float64
+		incObj         = math.Inf(1)
+		nodes          int
+		numFallbacks   int
+		warmDowngrades int
+		budgetOut      bool
 	)
 	report := func(lower float64) {
 		if opts.Progress == nil {
@@ -186,13 +197,26 @@ func Solve(m Model, opts Options) Result {
 			p.SetBounds(j, v, v)
 		}
 		sol := lp.SolveFrom(p, nd.basis)
+		if sol.NumericFallback {
+			numFallbacks++
+		}
+		if sol.WarmDowngraded {
+			warmDowngrades++
+		}
 		if sol.Status == lp.Infeasible {
 			continue
 		}
 		if sol.Status == lp.Unbounded {
 			// A bounded BIP over binaries cannot be unbounded unless
 			// continuous variables are; treat conservatively.
-			return Result{Status: Feasible, X: incumbent, Obj: incObj, Lower: math.Inf(-1), Gap: math.Inf(1), Nodes: nodes}
+			return Result{Status: Feasible, X: incumbent, Obj: incObj, Lower: math.Inf(-1), Gap: math.Inf(1), Nodes: nodes, NumericFallbacks: numFallbacks, WarmDowngrades: warmDowngrades}
+		}
+		if sol.Status == lp.IterLimit || sol.X == nil {
+			// The node LP exhausted its pivot budget: its bound and
+			// point are unusable (X may be nil). Stop the search with
+			// what has been proven so far rather than prune unsoundly.
+			budgetOut = true
+			break
 		}
 		if sol.Obj >= incObj-1e-12 {
 			continue
@@ -241,7 +265,9 @@ func Solve(m Model, opts Options) Result {
 	}
 
 	// Final lower bound: best remaining node bound, or the incumbent
-	// when the tree is exhausted.
+	// when the tree is exhausted. A budget-interrupted node's subtree
+	// was never explored: its bound (globalLower, set at pop) must
+	// keep the reported lower honest.
 	lower := incObj
 	if len(queue) > 0 {
 		lower = queue[0].bound
@@ -253,22 +279,27 @@ func Solve(m Model, opts Options) Result {
 	} else if globalLower > lower {
 		lower = globalLower
 	}
+	if budgetOut && globalLower < lower {
+		lower = globalLower
+	}
 	if incumbent == nil {
-		if len(queue) == 0 {
-			return Result{Status: Infeasible, Nodes: nodes, Gap: math.Inf(1), Lower: lower}
+		if len(queue) == 0 && !budgetOut {
+			return Result{Status: Infeasible, Nodes: nodes, Gap: math.Inf(1), Lower: lower, NumericFallbacks: numFallbacks, WarmDowngrades: warmDowngrades}
 		}
-		return Result{Status: Feasible, Nodes: nodes, Gap: math.Inf(1), Lower: lower}
+		// No incumbent but the search stopped early (budget, limits):
+		// infeasibility was NOT proven.
+		return Result{Status: Feasible, Nodes: nodes, Gap: math.Inf(1), Lower: lower, NumericFallbacks: numFallbacks, WarmDowngrades: warmDowngrades}
 	}
 	gap := relGap(incObj, lower)
 	st := Feasible
-	if len(queue) == 0 || gap <= 1e-9 {
+	if (len(queue) == 0 && !budgetOut) || gap <= 1e-9 {
 		st = Optimal
 		if gap < 0 {
 			gap = 0
 		}
 	}
 	report(lower)
-	return Result{Status: st, X: incumbent, Obj: incObj, Lower: lower, Gap: gap, Nodes: nodes}
+	return Result{Status: st, X: incumbent, Obj: incObj, Lower: lower, Gap: gap, Nodes: nodes, NumericFallbacks: numFallbacks, WarmDowngrades: warmDowngrades}
 }
 
 // integral reports whether every binary is within tolerance of 0 or 1.

@@ -63,6 +63,11 @@ type Result struct {
 	Iters int
 	// Nodes counts branch-and-bound nodes beyond the root.
 	Nodes int
+	// NumericFallbacks and WarmDowngrades surface the LP substrate's
+	// numerical-trouble counters (dense-oracle rescues and defeated
+	// warm bases) for the daemon's /stats.
+	NumericFallbacks int
+	WarmDowngrades   int
 	// Times is the INUM/build/solve breakdown of Figures 5 and 10.
 	Times Timings
 	// Trace holds the solver's bound events over time (Figure 6a).
@@ -156,22 +161,28 @@ func (ad *Advisor) solveWith(ctx context.Context, inst *Instance, model *lagrang
 	solveTime := time.Since(t)
 	if lr.Infeasible {
 		// The z polytope is feasible but no selection satisfies the
-		// per-statement cost caps (Appendix E.2 constraints).
+		// per-statement cost caps (Appendix E.2 constraints). The
+		// numeric-trouble counters still travel: a failed solve is
+		// exactly when silent fallbacks must not stay silent.
 		return &Result{
-			Infeasible: true,
-			Violated:   []string{"query-cost-constraints"},
-			Trace:      trace,
+			Infeasible:       true,
+			Violated:         []string{"query-cost-constraints"},
+			Trace:            trace,
+			NumericFallbacks: lr.NumericFallbacks,
+			WarmDowngrades:   lr.WarmDowngrades,
 		}, solveTime
 	}
 	res := &Result{
-		Selected: lr.Selected,
-		EstCost:  lr.Objective,
-		Lower:    lr.Lower,
-		Gap:      lr.Gap,
-		Iters:    lr.Iters,
-		Nodes:    lr.Nodes,
-		Trace:    trace,
-		Lambda:   lr.Lambda,
+		Selected:         lr.Selected,
+		EstCost:          lr.Objective,
+		Lower:            lr.Lower,
+		Gap:              lr.Gap,
+		Iters:            lr.Iters,
+		Nodes:            lr.Nodes,
+		NumericFallbacks: lr.NumericFallbacks,
+		WarmDowngrades:   lr.WarmDowngrades,
+		Trace:            trace,
+		Lambda:           lr.Lambda,
 	}
 	for i, on := range lr.Selected {
 		if on {

@@ -114,6 +114,14 @@ type Result struct {
 	Iters int
 	// Nodes counts branch-and-bound nodes beyond the root.
 	Nodes int
+	// NumericFallbacks counts z-subproblem LP solves that fell back to
+	// the dense oracle after a numerical failure in the sparse simplex
+	// (budget-charged, see lp.Solution.NumericFallback); surfaced so
+	// the daemon's /stats makes flaky bases visible instead of silent.
+	NumericFallbacks int
+	// WarmDowngrades counts z-subproblem re-solves whose warm basis
+	// was numerically defeated and installed cold.
+	WarmDowngrades int
 	// Lambda is the final dual state, reusable as Options.Warm.
 	Lambda *Multipliers
 	// Infeasible is true when the constraints admit no selection.
@@ -174,6 +182,9 @@ type solver struct {
 	fixedIn   []bool
 	fixedOut  []bool
 	nodeCount int
+
+	numFallbacks   int
+	warmDowngrades int
 
 	bestSel []bool
 	bestObj float64
@@ -266,18 +277,23 @@ func Solve(m *Model, opts Options) Result {
 	if s.bestSel == nil {
 		// No incumbent at all: the z polytope is feasible but the
 		// cost caps reject every selection the search visited.
-		return Result{Infeasible: true, Gap: math.Inf(1), Lower: s.lower, Iters: s.iters, Nodes: s.nodeCount}
+		return Result{
+			Infeasible: true, Gap: math.Inf(1), Lower: s.lower, Iters: s.iters, Nodes: s.nodeCount,
+			NumericFallbacks: s.numFallbacks, WarmDowngrades: s.warmDowngrades,
+		}
 	}
 	s.dropRedundant()
 	gap := s.gap()
 	return Result{
-		Selected:  s.bestSel,
-		Objective: s.bestObj,
-		Lower:     s.lower,
-		Gap:       gap,
-		Iters:     s.iters,
-		Nodes:     s.nodeCount,
-		Lambda:    s.exportLambda(),
+		Selected:         s.bestSel,
+		Objective:        s.bestObj,
+		Lower:            s.lower,
+		Gap:              gap,
+		Iters:            s.iters,
+		Nodes:            s.nodeCount,
+		NumericFallbacks: s.numFallbacks,
+		WarmDowngrades:   s.warmDowngrades,
+		Lambda:           s.exportLambda(),
 	}
 }
 
@@ -709,8 +725,21 @@ func (s *solver) zSubproblem() (float64, []float64) {
 		m.retuneZPolytope(s.zProb, rc, s.fixedIn, s.fixedOut)
 	}
 	sol := lp.SolveFrom(s.zProb, s.zBasis)
+	if sol.NumericFallback {
+		s.numFallbacks++
+	}
+	if sol.WarmDowngraded {
+		s.warmDowngrades++
+	}
 	if sol.Status == lp.Infeasible {
 		return math.Inf(1), nil
+	}
+	if sol.Status != lp.Optimal || sol.X == nil {
+		// Budget-exhausted (or otherwise unfinished) z-solve: its value
+		// is not a valid bound component and there is no usable point.
+		// NaN + nil tell the caller to stop tightening this iteration;
+		// the previously proven bound stands.
+		return math.NaN(), nil
 	}
 	s.zBasis = sol.Basis
 	return sol.Obj, sol.X
@@ -811,6 +840,11 @@ func (s *solver) subgradient(iters int, updateGlobal bool) (float64, []float64, 
 		}
 		zv, zf := s.zSubproblem()
 		s.heuristics(zf)
+		if math.IsNaN(zv) {
+			// Unfinished z-solve: no valid bound at all (the true z
+			// minimum may be strongly negative).
+			return math.Inf(-1), zf, usedLast
+		}
 		return lbConst + math.Min(zv, 0), zf, usedLast
 	}
 
@@ -841,6 +875,11 @@ func (s *solver) subgradient(iters int, updateGlobal bool) (float64, []float64, 
 		if math.IsInf(zv, 1) {
 			// Current fixings infeasible.
 			return math.Inf(1), nil, nil
+		}
+		if zf == nil {
+			// Unfinished z-solve (pivot budget died): no valid bound or
+			// point this iteration; keep what is already proven.
+			break
 		}
 		lb += zv
 		zLast = zf

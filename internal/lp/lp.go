@@ -6,11 +6,13 @@
 //
 // Two implementations share one Problem and one Basis type. The
 // production path (Solve/SolveFrom/SolveWithLimit) is a revised
-// simplex over the problem's sparse column-major store with a
-// product-form basis inverse (see sparse.go): per-iteration work
-// scales with the number of nonzeros, not with m×n, which is the
-// difference that matters for the constraint-rich BIP matrices index
-// tuning produces (±1 coefficients, a handful of nonzeros per row).
+// simplex over the problem's sparse column-major store with an
+// LU-factorized basis — Markowitz-ordered sparse LU, Forrest–Tomlin
+// updates, devex pricing (see sparse.go and lu.go): per-iteration
+// work scales with the factor's fill, not with m×n or pivot depth,
+// which is the difference that matters for the constraint-rich BIP
+// matrices index tuning produces (±1 coefficients, a handful of
+// nonzeros per row).
 // The original dense two-phase tableau simplex is retained verbatim as
 // a reference oracle (SolveDense/SolveDenseFrom/SolveDenseWithLimit);
 // property tests pin the sparse path's status and objective against it
@@ -204,6 +206,18 @@ type Solution struct {
 	// a structurally identical problem (same rows and columns, bounds
 	// and objective free to differ) to warm-start the next solve.
 	Basis *Basis
+	// NumericFallback reports that the sparse path hit an
+	// unrecoverable numerical failure mid-solve and the problem was
+	// finished by the dense tableau oracle, charged against the
+	// iteration budget the sparse attempt had already partly spent.
+	// Callers with bounded requests should count these: a flaky basis
+	// shows up here, not as silently doubled work.
+	NumericFallback bool
+	// WarmDowngraded reports that a caller-supplied warm basis was
+	// numerically defeated during installation and the solve restarted
+	// from the all-slack (cold) basis. Warm-start assertions must check
+	// this: a "warm" solve with this flag set measured a cold one.
+	WarmDowngraded bool
 }
 
 // Basis is a reusable simplex starting point: the basic column of each
@@ -214,13 +228,13 @@ type Solution struct {
 // a near-optimal point instead of running Phase 1 from scratch.
 //
 // A basis captured by the sparse path additionally carries a snapshot
-// of the basis factorization (the eta file of the product-form
-// inverse). Because the basis matrix depends only on which columns are
-// basic — never on bounds or the objective — a re-solve on the same
-// constraint matrix (a branch-and-bound child after a bound flip, the
-// z subproblem after an objective change) adopts the factorization
-// outright and installs the warm start in O(nnz), where the dense
-// tableau re-pivots in O(m·n) per row.
+// of the basis factorization (the sparse LU factors and their pivot
+// assignment). Because the basis matrix depends only on which columns
+// are basic — never on bounds or the objective — a re-solve on the
+// same constraint matrix (a branch-and-bound child after a bound
+// flip, the z subproblem after an objective change) adopts the
+// factorization outright and installs the warm start in O(nnz), where
+// the dense tableau re-pivots in O(m·n) per row.
 type Basis struct {
 	cols []int  // basic column per row (structural/slack; -1 = row's own slack)
 	atHi []bool // nonbasic-at-upper flag per structural/slack column

@@ -1,0 +1,742 @@
+package lp
+
+// Sparse LU factorization of the simplex basis.
+//
+// The basis matrix B (one column per row of the problem, gathered from
+// the CSC store) is factored as B = L·U with Markowitz-ordered
+// pivoting under a relative stability threshold: each elimination step
+// picks, among the sparsest active columns, the entry minimizing the
+// fill bound (r−1)(c−1) whose magnitude is within luRelThreshold of
+// its column's largest. L is kept as a product of elementary factors
+// (column operations from the factorization, then row operations
+// appended by Forrest–Tomlin updates); U is kept explicitly, both
+// column-wise and row-wise, under a row permutation — there is no
+// dense triangle anywhere.
+//
+//	FTRAN  w = B⁻¹a:  apply the L factors in order, then solve U
+//	                  back-to-front through the permutation.
+//	BTRAN  y = yB⁻¹:  solve Uᵀ front-to-back, then apply the L
+//	                  factors transposed in reverse.
+//
+// A pivot replaces one basis column; the factorization follows with a
+// Forrest–Tomlin update: the leaving column's U column is replaced by
+// the entering column's partial FTRAN (the spike), the leaving pivot
+// is cycled to the last position, and the now-offending row of U is
+// eliminated with row operations recorded as new L factors. Work per
+// update is O(nnz touched), independent of how many pivots preceded
+// it — unlike a product-form eta file, whose transform cost grows
+// linearly with pivot depth. Refactorization (every refactorEvery
+// updates, or when fill outgrows the bound) rebuilds L and U from the
+// matrix, restoring both sparsity and numerical accuracy.
+
+import "math"
+
+// lop is one elementary column factor of L from the factorization:
+// applying it to v does v[idx[k]] −= val[k]·v[pr] (unit diagonal).
+type lop struct {
+	pr  int32
+	idx []int32
+	val []float64
+}
+
+// rop is one Forrest–Tomlin row-elimination factor appended after the
+// factorization: applying it to v does v[r] −= mult·v[pr].
+type rop struct {
+	r, pr int32
+	mult  float64
+}
+
+// luFac is the factorization state. U is keyed by pivot row: the
+// column paired with pivot row r has above-diagonal entries
+// ucolRow[r]/ucolVal[r] (at rows of earlier pivot position) and
+// diagonal udiag[r]; urowCol[r]/urowVal[r] mirror U row-wise (the
+// pivot-row keys of later columns in which row r has an entry), which
+// is what lets a Forrest–Tomlin update find and eliminate the leaving
+// row without scanning all of U. porder lists pivot rows in
+// elimination order; pos is its inverse.
+type luFac struct {
+	m    int
+	lops []lop
+	rops []rop
+	lnnz int
+
+	ucolRow [][]int32
+	ucolVal [][]float64
+	udiag   []float64
+	urowCol [][]int32
+	urowVal [][]float64
+	porder  []int32
+	pos     []int32
+	unnz    int
+
+	// updates counts the Forrest–Tomlin updates absorbed since the
+	// factors were last rebuilt. It travels with snapshots (copyLU), so
+	// a warm-adopted basis inherits its update debt instead of chains
+	// of short warm solves ratcheting rops and fill without bound.
+	updates int
+
+	wr []float64 // FT-update scratch row, keyed by column pivot row
+}
+
+const (
+	// luRelThreshold is the relative pivot-stability threshold: an
+	// entry qualifies as a pivot candidate when its magnitude is at
+	// least this fraction of the largest in its column.
+	luRelThreshold = 0.1
+	// luCandCols bounds how many minimal-count columns a Markowitz
+	// pivot search examines per elimination step.
+	luCandCols = 8
+)
+
+func newLU(m int) *luFac {
+	return &luFac{
+		m:       m,
+		ucolRow: make([][]int32, m),
+		ucolVal: make([][]float64, m),
+		udiag:   make([]float64, m),
+		urowCol: make([][]int32, m),
+		urowVal: make([][]float64, m),
+		porder:  make([]int32, 0, m),
+		pos:     make([]int32, m),
+		wr:      make([]float64, m),
+	}
+}
+
+// reset clears the factorization for a rebuild.
+func (f *luFac) reset() {
+	f.lops = f.lops[:0]
+	f.rops = f.rops[:0]
+	f.lnnz = 0
+	f.unnz = 0
+	f.updates = 0
+	f.porder = f.porder[:0]
+	for r := 0; r < f.m; r++ {
+		f.ucolRow[r] = f.ucolRow[r][:0]
+		f.ucolVal[r] = f.ucolVal[r][:0]
+		f.urowCol[r] = f.urowCol[r][:0]
+		f.urowVal[r] = f.urowVal[r][:0]
+		f.udiag[r] = 0
+		f.pos[r] = -1
+	}
+}
+
+// copyLU deep-copies the factorization (snapshots must not alias the
+// live solve: Forrest–Tomlin updates mutate U in place).
+func (f *luFac) copyLU() *luFac {
+	cp := newLU(f.m)
+	// L factors are immutable once appended; the slice headers copy,
+	// the payloads share.
+	cp.lops = append([]lop(nil), f.lops...)
+	cp.rops = append([]rop(nil), f.rops...)
+	cp.lnnz = f.lnnz
+	cp.unnz = f.unnz
+	cp.updates = f.updates
+	cp.porder = append(cp.porder[:0], f.porder...)
+	copy(cp.pos, f.pos)
+	copy(cp.udiag, f.udiag)
+	for r := 0; r < f.m; r++ {
+		cp.ucolRow[r] = append([]int32(nil), f.ucolRow[r]...)
+		cp.ucolVal[r] = append([]float64(nil), f.ucolVal[r]...)
+		cp.urowCol[r] = append([]int32(nil), f.urowCol[r]...)
+		cp.urowVal[r] = append([]float64(nil), f.urowVal[r]...)
+	}
+	return cp
+}
+
+// nnz is the transform size the refactorization bound watches.
+func (f *luFac) nnz() int { return f.lnnz + len(f.rops) + f.unnz + len(f.porder) }
+
+// ftran applies B⁻¹ to the scratch w in place: L factors in order,
+// then the permuted-triangular U back-substitution. touch lists the
+// rows that may be nonzero; rows filled in are appended (possibly with
+// duplicates — consumers treat touch idempotently or consume-and-zero).
+// The result value for the basis column paired with pivot row r lands
+// at w[r].
+func (f *luFac) ftran(w []float64, touch []int32) []int32 {
+	return f.utran(w, f.halfFtran(w, touch))
+}
+
+// utran completes an ftran whose L half was already applied (the
+// spike): the permuted-triangular U back-substitution alone.
+func (f *luFac) utran(w []float64, touch []int32) []int32 {
+	for k := len(f.porder) - 1; k >= 0; k-- {
+		r := f.porder[k]
+		v := w[r]
+		if v == 0 {
+			continue
+		}
+		v /= f.udiag[r]
+		w[r] = v
+		rows, vals := f.ucolRow[r], f.ucolVal[r]
+		for k2, i := range rows {
+			if w[i] == 0 {
+				touch = append(touch, i)
+			}
+			w[i] -= vals[k2] * v
+		}
+	}
+	return touch
+}
+
+// btranRow computes the simplex pivot row's ρ = e_r·B⁻¹: identical to
+// btran, but the Uᵀ forward substitution starts at r's pivot position
+// — every earlier component of U⁻ᵀ·e_r is identically zero.
+func (f *luFac) btranRow(r int32, y []float64) {
+	f.btranFrom(int(f.pos[r]), y)
+}
+
+// btran applies B⁻¹ from the left: y ← y·B⁻¹ (Uᵀ forward, then the L
+// factors transposed in reverse). Dense over the m rows.
+func (f *luFac) btran(y []float64) { f.btranFrom(0, y) }
+
+func (f *luFac) btranFrom(start int, y []float64) {
+	for _, r := range f.porder[start:] {
+		acc := y[r]
+		rows, vals := f.ucolRow[r], f.ucolVal[r]
+		for k, i := range rows {
+			acc -= vals[k] * y[i]
+		}
+		y[r] = acc / f.udiag[r]
+	}
+	for oi := len(f.rops) - 1; oi >= 0; oi-- {
+		o := &f.rops[oi]
+		y[o.pr] -= o.mult * y[o.r]
+	}
+	for li := len(f.lops) - 1; li >= 0; li-- {
+		e := &f.lops[li]
+		acc := y[e.pr]
+		for k, i := range e.idx {
+			acc -= e.val[k] * y[i]
+		}
+		y[e.pr] = acc
+	}
+}
+
+// ftranDense applies B⁻¹ to a full-length vector with no touch
+// bookkeeping (the exact basic-value recompute).
+func (f *luFac) ftranDense(v []float64) {
+	for li := range f.lops {
+		e := &f.lops[li]
+		t := v[e.pr]
+		if t == 0 {
+			continue
+		}
+		for k, i := range e.idx {
+			v[i] -= e.val[k] * t
+		}
+	}
+	for oi := range f.rops {
+		o := &f.rops[oi]
+		if t := v[o.pr]; t != 0 {
+			v[o.r] -= o.mult * t
+		}
+	}
+	for k := len(f.porder) - 1; k >= 0; k-- {
+		r := f.porder[k]
+		x := v[r]
+		if x == 0 {
+			continue
+		}
+		x /= f.udiag[r]
+		v[r] = x
+		rows, vals := f.ucolRow[r], f.ucolVal[r]
+		for k2, i := range rows {
+			v[i] -= vals[k2] * x
+		}
+	}
+}
+
+// halfFtran applies only the L factors (no U solve): the
+// Forrest–Tomlin spike L⁻¹·a of an entering column.
+func (f *luFac) halfFtran(w []float64, touch []int32) []int32 {
+	for li := range f.lops {
+		e := &f.lops[li]
+		t := w[e.pr]
+		if t == 0 {
+			continue
+		}
+		for k, i := range e.idx {
+			if w[i] == 0 {
+				touch = append(touch, i)
+			}
+			w[i] -= e.val[k] * t
+		}
+	}
+	for oi := range f.rops {
+		o := &f.rops[oi]
+		if t := w[o.pr]; t != 0 {
+			if w[o.r] == 0 {
+				touch = append(touch, o.r)
+			}
+			w[o.r] -= o.mult * t
+		}
+	}
+	return touch
+}
+
+// dropRowEntry removes the mirror entry (column key, row r) pair.
+func (f *luFac) dropRowEntry(r, key int32) {
+	cols, vals := f.urowCol[r], f.urowVal[r]
+	for k, c := range cols {
+		if c == key {
+			last := len(cols) - 1
+			cols[k], vals[k] = cols[last], vals[last]
+			f.urowCol[r] = cols[:last]
+			f.urowVal[r] = vals[:last]
+			return
+		}
+	}
+}
+
+// dropColEntry removes the entry at row r from column key's list.
+func (f *luFac) dropColEntry(key, r int32) {
+	rows, vals := f.ucolRow[key], f.ucolVal[key]
+	for k, i := range rows {
+		if i == r {
+			last := len(rows) - 1
+			rows[k], vals[k] = rows[last], vals[last]
+			f.ucolRow[key] = rows[:last]
+			f.ucolVal[key] = vals[:last]
+			return
+		}
+	}
+}
+
+// ftUpdate replaces the basis column paired with pivot row leaveRow by
+// the entering column whose spike L⁻¹·a_enter sits in the scratch sw
+// (entries listed, possibly with duplicates, in stouch). The leaving
+// pivot cycles to the last position, its U row is eliminated by row
+// operations appended to rops, and the post-elimination spike becomes
+// the new last U column. sw is consumed (zeroed). Returns false when
+// the new diagonal is numerically negligible — the caller must then
+// refactorize from scratch, as U has already been partially edited.
+func (f *luFac) ftUpdate(leaveRow int32, sw []float64, stouch []int32) bool {
+	t := int(f.pos[leaveRow])
+	n := len(f.porder)
+	wr := f.wr
+	f.updates++
+
+	// Consume row leaveRow of U into the scratch row (keyed by column
+	// pivot row), detaching each entry from its column.
+	for k, c := range f.urowCol[leaveRow] {
+		wr[c] = f.urowVal[leaveRow][k]
+		f.dropColEntry(c, leaveRow)
+		f.unnz--
+	}
+	f.urowCol[leaveRow] = f.urowCol[leaveRow][:0]
+	f.urowVal[leaveRow] = f.urowVal[leaveRow][:0]
+
+	// Discard the leaving column of U.
+	for _, r := range f.ucolRow[leaveRow] {
+		f.dropRowEntry(r, leaveRow)
+		f.unnz--
+	}
+	f.ucolRow[leaveRow] = f.ucolRow[leaveRow][:0]
+	f.ucolVal[leaveRow] = f.ucolVal[leaveRow][:0]
+
+	// Eliminate the detached row against the pivots behind it, in
+	// position order (fill lands strictly ahead). Each step is a row
+	// operation on U — recorded as an L factor — and also updates the
+	// spike's leaveRow component, since the spike is about to become a
+	// column of the updated U.
+	for k := t + 1; k < n; k++ {
+		c := f.porder[k]
+		v := wr[c]
+		if v == 0 {
+			continue
+		}
+		wr[c] = 0
+		mult := v / f.udiag[c]
+		if math.Abs(mult) <= etaDropTol {
+			continue
+		}
+		f.rops = append(f.rops, rop{r: leaveRow, pr: c, mult: mult})
+		cols, vals := f.urowCol[c], f.urowVal[c]
+		for k2, c2 := range cols {
+			wr[c2] -= mult * vals[k2]
+		}
+		sw[leaveRow] -= mult * sw[c]
+	}
+
+	d := sw[leaveRow]
+	if math.Abs(d) < pivotEps {
+		// Clean the scratch fully: the elimination wrote sw[leaveRow]
+		// even when the spike had no entry there (so it is absent from
+		// stouch); leaving it would contaminate every later transform.
+		for _, i := range stouch {
+			sw[i] = 0
+		}
+		sw[leaveRow] = 0
+		return false
+	}
+
+	// Install the spike as the new last column, keyed by leaveRow.
+	sw[leaveRow] = 0
+	for _, i := range stouch {
+		v := sw[i]
+		if v == 0 {
+			continue
+		}
+		sw[i] = 0
+		if math.Abs(v) <= etaDropTol {
+			continue
+		}
+		f.ucolRow[leaveRow] = append(f.ucolRow[leaveRow], i)
+		f.ucolVal[leaveRow] = append(f.ucolVal[leaveRow], v)
+		f.urowCol[i] = append(f.urowCol[i], leaveRow)
+		f.urowVal[i] = append(f.urowVal[i], v)
+		f.unnz++
+	}
+	f.udiag[leaveRow] = d
+
+	// Cyclic shift: positions t+1..n−1 move down one, leaveRow last.
+	copy(f.porder[t:], f.porder[t+1:])
+	f.porder[n-1] = leaveRow
+	for k := t; k < n; k++ {
+		f.pos[f.porder[k]] = int32(k)
+	}
+	return true
+}
+
+// scaleCol scales the U column keyed by pivot row key by sigma — the
+// basis column paired with that pivot was replaced by sigma times
+// itself (phase 1's signed artificial aliases).
+func (f *luFac) scaleCol(key int32, sigma float64) {
+	f.udiag[key] *= sigma
+	rows, vals := f.ucolRow[key], f.ucolVal[key]
+	for k := range vals {
+		vals[k] *= sigma
+		r := rows[k]
+		cols, rvals := f.urowCol[r], f.urowVal[r]
+		for k2, c := range cols {
+			if c == key {
+				rvals[k2] *= sigma
+				break
+			}
+		}
+	}
+}
+
+// factor rebuilds the factorization from the given basis columns by
+// right-looking Markowitz elimination with the relative stability
+// threshold. It assigns pivot rows into s.basis (rows left without a
+// pivot hold −1) and returns the number of columns dropped as
+// numerically dependent (or unpivotable under the threshold).
+func (s *spx) factor(cols []int) int {
+	m := s.m
+	f := s.fac
+	if f == nil {
+		f = newLU(m)
+		s.fac = f
+	}
+	f.reset()
+	for i := range s.basis {
+		s.basis[i] = -1
+	}
+	if len(cols) == 0 {
+		return 0
+	}
+
+	// Gather the basis columns into an active working matrix: column
+	// entry lists plus a row-wise slot index (lazily cleaned — stale
+	// slots are skipped when the entry is gone). The workspace lives on
+	// the spx and is reused across factorizations: after the first few
+	// calls the whole elimination runs allocation-free.
+	nc := len(cols)
+	fw := &s.fw
+	fw.grow(m, nc)
+	wcR, wcV := fw.wcR, fw.wcV
+	rowSlots := fw.rowSlots
+	rcount, ccount := fw.rcount, fw.ccount
+	colDone := fw.colDone
+	pendR, pendV := fw.pendR, fw.pendV
+	slotRow := fw.slotRow
+	for ci, j := range cols {
+		touch := s.colScatter(j, s.w, s.touch[:0])
+		for _, r := range touch {
+			v := s.w[r]
+			s.w[r] = 0
+			if v == 0 {
+				continue
+			}
+			wcR[ci] = append(wcR[ci], r)
+			wcV[ci] = append(wcV[ci], v)
+			rowSlots[r] = append(rowSlots[r], int32(ci))
+			rcount[r]++
+			ccount[ci]++
+		}
+		s.touch = touch[:0]
+	}
+
+	// dropCol retires a numerically dependent column: its (negligible)
+	// residual entries leave the active matrix so they can neither be
+	// chosen as pivots nor distort the Markowitz row counts.
+	dropCol := func(ci int32) {
+		colDone[ci] = true
+		for _, r := range wcR[ci] {
+			rcount[r]--
+		}
+		wcR[ci], wcV[ci] = wcR[ci][:0], wcV[ci][:0]
+	}
+
+	// Singleton queue: a column with exactly one active entry is a
+	// zero-fill pivot (Markowitz score 0) — taking those first skips
+	// the full candidate scan for the bulk of slack-heavy bases. The
+	// queue is lazily validated: counts change after a push.
+	singles := fw.singles[:0]
+	for ci := 0; ci < nc; ci++ {
+		if ccount[ci] == 1 {
+			singles = append(singles, int32(ci))
+		}
+	}
+
+	dropped := 0
+	for step := 0; step < nc; step++ {
+		var cand [luCandCols]int32
+		ncand := 0
+		for len(singles) > 0 {
+			ci := singles[len(singles)-1]
+			singles = singles[:len(singles)-1]
+			if !colDone[ci] && ccount[ci] == 1 {
+				cand[0] = ci
+				ncand = 1
+				break
+			}
+		}
+		if ncand == 0 {
+			// Markowitz pivot search over (up to) the luCandCols active
+			// columns of smallest entry count.
+			for ci := 0; ci < nc; ci++ {
+				if colDone[ci] {
+					continue
+				}
+				k := ncand
+				if k < luCandCols {
+					ncand++
+				} else if ccount[ci] >= ccount[cand[k-1]] {
+					continue
+				} else {
+					k--
+				}
+				for ; k > 0 && ccount[ci] < ccount[cand[k-1]]; k-- {
+					cand[k] = cand[k-1]
+				}
+				cand[k] = int32(ci)
+			}
+		}
+		if ncand == 0 {
+			break
+		}
+		bestC, bestR := int32(-1), int32(-1)
+		bestScore, bestMag := int64(0), 0.0
+		progressed := false
+		for _, ci := range cand[:ncand] {
+			rows, vals := wcR[ci], wcV[ci]
+			colmax := 0.0
+			for _, v := range vals {
+				if a := math.Abs(v); a > colmax {
+					colmax = a
+				}
+			}
+			if colmax < pivotEps {
+				// Dependent (or emptied) column: retire it now so it
+				// cannot shadow viable columns in the candidate window.
+				dropCol(ci)
+				dropped++
+				progressed = true
+				continue
+			}
+			floor := luRelThreshold * colmax
+			for k, r := range rows {
+				a := math.Abs(vals[k])
+				if a < floor {
+					continue
+				}
+				score := int64(rcount[r]-1) * int64(ccount[ci]-1)
+				if bestC < 0 || score < bestScore || (score == bestScore && a > bestMag) {
+					bestC, bestR, bestScore, bestMag = ci, r, score, a
+				}
+			}
+		}
+		if bestC < 0 {
+			if progressed {
+				continue // retired candidates; rescan the rest
+			}
+			break
+		}
+
+		// Pivot (bestR, bestC): emit the L column, harvest the U row,
+		// and eliminate.
+		pc, pr := bestC, bestR
+		colDone[pc] = true
+		f.porder = append(f.porder, pr)
+		f.pos[pr] = int32(len(f.porder) - 1)
+		s.basis[pr] = cols[pc]
+		slotRow[pc] = pr
+
+		var pval float64
+		var lidx []int32
+		var lval []float64
+		for k, r := range wcR[pc] {
+			if r == pr {
+				pval = wcV[pc][k]
+			}
+			rcount[r]--
+		}
+		f.udiag[pr] = pval
+		for k, r := range wcR[pc] {
+			if r == pr {
+				continue
+			}
+			mult := wcV[pc][k] / pval
+			if math.Abs(mult) > etaDropTol {
+				lidx = append(lidx, r)
+				lval = append(lval, mult)
+			}
+		}
+		if len(lidx) > 0 {
+			f.lops = append(f.lops, lop{pr: pr, idx: lidx, val: lval})
+			f.lnnz += len(lidx)
+		}
+		wcR[pc], wcV[pc] = wcR[pc][:0], wcV[pc][:0]
+
+		// Row pr's entries in the other active columns become U
+		// entries; each such column is then updated by the L column
+		// (right-looking elimination with a dense scratch).
+		for _, ci := range rowSlots[pr] {
+			if colDone[ci] {
+				continue
+			}
+			rows, vals := wcR[ci], wcV[ci]
+			var u float64
+			found := false
+			for k, r := range rows {
+				if r == pr {
+					u = vals[k]
+					found = true
+					last := len(rows) - 1
+					rows[k], vals[k] = rows[last], vals[last]
+					wcR[ci], wcV[ci] = rows[:last], vals[:last]
+					break
+				}
+			}
+			if !found {
+				continue // stale slot: the entry was dropped earlier
+			}
+			ccount[ci]--
+			if ccount[ci] == 1 {
+				singles = append(singles, ci)
+			}
+			pendR[ci] = append(pendR[ci], pr)
+			pendV[ci] = append(pendV[ci], u)
+			if len(lidx) == 0 {
+				continue
+			}
+			// Scatter, subtract u·L, rebuild with fill bookkeeping.
+			rows, vals = wcR[ci], wcV[ci]
+			touch := s.touch[:0]
+			for k, r := range rows {
+				s.w[r] = vals[k]
+				touch = append(touch, r)
+			}
+			for k, r := range lidx {
+				if s.w[r] == 0 {
+					touch = append(touch, r)
+					rowSlots[r] = append(rowSlots[r], ci)
+					rcount[r]++
+				}
+				s.w[r] -= lval[k] * u
+			}
+			rows, vals = rows[:0], vals[:0]
+			for _, r := range touch {
+				v := s.w[r]
+				s.w[r] = 0
+				if math.Abs(v) <= etaDropTol {
+					// Dropped — including entries that cancelled to
+					// exactly zero, which held a row count too.
+					rcount[r]--
+					continue
+				}
+				rows = append(rows, r)
+				vals = append(vals, v)
+			}
+			wcR[ci], wcV[ci] = rows, vals
+			if ccount[ci] != 1 && len(rows) == 1 {
+				singles = append(singles, ci)
+			}
+			ccount[ci] = int32(len(rows))
+			s.touch = touch[:0]
+		}
+		rowSlots[pr] = rowSlots[pr][:0]
+	}
+
+	fw.singles = singles[:0]
+
+	// Commit each pivoted slot's harvested above-diagonal entries under
+	// its pivot-row key, in both U orientations.
+	for ci := 0; ci < nc; ci++ {
+		key := slotRow[ci]
+		if key < 0 || len(pendR[ci]) == 0 {
+			continue
+		}
+		f.ucolRow[key] = append(f.ucolRow[key], pendR[ci]...)
+		f.ucolVal[key] = append(f.ucolVal[key], pendV[ci]...)
+		for k, r := range pendR[ci] {
+			f.urowCol[r] = append(f.urowCol[r], key)
+			f.urowVal[r] = append(f.urowVal[r], pendV[ci][k])
+			f.unnz++
+		}
+	}
+	return dropped
+}
+
+// facWork is the reusable factorization workspace (see factor).
+type facWork struct {
+	wcR      [][]int32
+	wcV      [][]float64
+	rowSlots [][]int32
+	rcount   []int32
+	ccount   []int32
+	colDone  []bool
+	slotRow  []int32
+	singles  []int32
+	pendR    [][]int32
+	pendV    [][]float64
+}
+
+// grow (re)sizes the workspace for m rows and nc columns, clearing
+// counters and truncating entry lists while keeping their capacity.
+func (fw *facWork) grow(m, nc int) {
+	if cap(fw.rowSlots) < m {
+		fw.rowSlots = make([][]int32, m)
+		fw.rcount = make([]int32, m)
+	}
+	fw.rowSlots = fw.rowSlots[:m]
+	fw.rcount = fw.rcount[:m]
+	for i := 0; i < m; i++ {
+		fw.rowSlots[i] = fw.rowSlots[i][:0]
+		fw.rcount[i] = 0
+	}
+	if cap(fw.wcR) < nc {
+		fw.wcR = make([][]int32, nc)
+		fw.wcV = make([][]float64, nc)
+		fw.ccount = make([]int32, nc)
+		fw.colDone = make([]bool, nc)
+		fw.slotRow = make([]int32, nc)
+		fw.pendR = make([][]int32, nc)
+		fw.pendV = make([][]float64, nc)
+	}
+	fw.wcR, fw.wcV = fw.wcR[:nc], fw.wcV[:nc]
+	fw.ccount, fw.colDone = fw.ccount[:nc], fw.colDone[:nc]
+	fw.slotRow = fw.slotRow[:nc]
+	fw.pendR, fw.pendV = fw.pendR[:nc], fw.pendV[:nc]
+	for ci := 0; ci < nc; ci++ {
+		fw.wcR[ci] = fw.wcR[ci][:0]
+		fw.wcV[ci] = fw.wcV[ci][:0]
+		fw.ccount[ci] = 0
+		fw.colDone[ci] = false
+		fw.slotRow[ci] = -1
+		fw.pendR[ci] = fw.pendR[ci][:0]
+		fw.pendV[ci] = fw.pendV[ci][:0]
+	}
+}

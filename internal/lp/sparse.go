@@ -3,66 +3,74 @@ package lp
 // Revised simplex over the problem's CSC column store.
 //
 // Where the dense tableau maintains the full eliminated matrix B⁻¹A
-// and pays O(m·(n+m)) per pivot, this implementation keeps only the
-// basis inverse, represented in product form: an ordered file of eta
-// vectors, each recording one pivot's column of the elementary
-// transformation. One iteration costs
+// and pays O(m·(n+m)) per pivot, this implementation keeps only a
+// sparse LU factorization of the basis (see lu.go): Markowitz-ordered
+// pivoting with a relative stability threshold, permuted-triangular
+// FTRAN/BTRAN, and Forrest–Tomlin updates between refactorizations, so
+// the cost of one transform stays proportional to the factor's fill
+// instead of growing with pivot depth the way a product-form eta file
+// does. One iteration costs
 //
-//	BTRAN  (duals y = c_B·B⁻¹)        O(Σ eta nnz + m)
-//	pricing (d_j = c_j − y·A_j)        O(nnz(A) + n)
-//	FTRAN  (w = B⁻¹·A_enter)           O(Σ eta nnz + nnz(A_enter))
-//	update (basic values, eta append)  O(nnz(w))
+//	pricing  (devex over maintained d)   O(n)
+//	FTRAN    (w = B⁻¹·A_enter)           O(factor nnz touched)
+//	BTRAN    (ρ = e_r·B⁻¹, pivot row)    O(factor nnz)
+//	update   (x_B, d, weights, FT)       O(nnz(w) + nnz(row r))
 //
-// which for the BIP matrices above this package (±1 coefficients, a
-// handful of nonzeros per row) is orders of magnitude below the dense
-// pivot. The eta file is rebuilt from scratch (refactorization) every
-// refactorEvery pivots or when fill-in outgrows the matrix, which also
-// recomputes the basic values exactly and bounds numerical drift.
+// Pricing is devex reference-framework pricing: reduced costs are
+// maintained by the dual update d ← d − θ_d·α after every pivot
+// (recomputed exactly at each refactorization and before optimality is
+// declared), and candidates are ranked by d²/w with the reference
+// weights updated from the same pivot row α. On a degeneracy stall the
+// pricing falls back to Bland's rule until a nondegenerate pivot is
+// made, which guards against cycling.
 //
-// Warm starts: a Basis captured here snapshots the eta file. A
+// Warm starts: a Basis captured here snapshots the LU factorization. A
 // re-solve over the same constraint matrix (same matrixStamp, same
 // dimensions, same basic columns — bounds and objective free to
-// differ) adopts the snapshot and skips installation pivots entirely;
-// otherwise the basis is reinstalled by factoring its columns in
-// sparsity order, still never touching a dense m×n tableau.
+// differ) adopts the snapshot and skips installation work entirely;
+// otherwise the basis is refactored from its columns, still never
+// touching a dense m×n tableau.
 
 import "math"
 
-// eta is one elementary transformation of the product-form inverse:
-// the pivot column w = B⁻¹·A_enter recorded at pivot row r. Applying
-// its inverse to v sets v_r ← v_r/pr and v_i ← v_i − val_k·v_r for the
-// off-pivot entries. Etas are immutable once appended; snapshots share
-// them freely.
-type eta struct {
-	r   int32
-	pr  float64
-	idx []int32
-	val []float64
-}
-
 // facSnapshot is the reusable factorization a captured Basis carries:
-// the eta file and the row→column assignment it realizes, keyed by the
-// matrix stamp it was factored against.
+// the LU factors and the row→column assignment they realize, keyed by
+// the matrix stamp they were factored against.
 type facSnapshot struct {
 	mid  *matrixStamp
 	m, n int
 	cols []int
-	etas []eta
-	nnz  int
+	lu   *luFac
 }
 
 const (
-	// refactorEvery bounds the eta file length between rebuilds.
-	refactorEvery = 64
-	// etaDropTol discards negligible eta entries (fill-in control).
+	// refactorEvery bounds the Forrest–Tomlin update count between
+	// factorization rebuilds. Unlike a product-form eta file — whose
+	// transform cost forces frequent rebuilds — FT updates keep the
+	// factor compact, so the interval is set by numerics, not speed.
+	refactorEvery = 192
+	// etaDropTol discards negligible factor entries (fill-in control).
 	etaDropTol = 1e-11
+	// devexReset rebuilds the devex reference framework (all weights
+	// back to 1) once a weight estimate outgrows it.
+	devexReset = 1e7
 )
+
+// degenStallBase is the flat part of the degeneracy-stall threshold.
+// A variable rather than a constant so the cycling regression test can
+// drop it to zero and drive every pivot through the Bland guard.
+var degenStallBase = 100
+
+// degenStall is the consecutive-degenerate-pivot count after which
+// pricing falls back to Bland's rule (anti-cycling guard).
+func degenStall(m int) int { return degenStallBase + 2*m }
 
 // statusNumeric is an internal sentinel: a mid-solve refactorization
 // could not reproduce a feasible basis (a dependent column was
 // dropped, or the exact basic-value recompute exposed violations).
-// solveSparse responds by handing the whole problem to the dense
-// oracle rather than ever returning Optimal on an infeasible point.
+// solveSparse responds by handing the problem to the dense oracle —
+// charged against the remaining iteration budget — rather than ever
+// returning Optimal on an infeasible point.
 const statusNumeric Status = -1
 
 // spx is the revised-simplex working state.
@@ -80,9 +88,9 @@ type spx struct {
 	xB     []float64
 	b      []float64
 
-	etas   []eta
-	etaNNZ int
-	pivots int // pivots since the last refactorization
+	fac     *luFac
+	fw      facWork
+	baseNNZ int // factor size right after the last refactorization
 	// Artificial k's column is artSign[k]·A_{artCol[k]} — the signed
 	// alias of the basic column it displaced, which is the original-
 	// coordinate form of the dense oracle's eliminated-frame e_i (see
@@ -90,11 +98,31 @@ type spx struct {
 	artCol  []int
 	artSign []float64
 
+	// Pricing state: maintained reduced costs, devex reference
+	// weights, and the degeneracy-stall tracker behind the Bland
+	// fallback.
+	d      []float64
+	dw     []float64
+	cand   []int32 // columns with attractive maintained d (superset)
+	inCand []bool
+	degen  int
+	bland  bool
+
+	// downgraded records that a caller-supplied warm basis was
+	// numerically defeated during installation and the solve restarted
+	// from the all-slack basis instead (Solution.WarmDowngraded).
+	downgraded bool
+
 	// scratch buffers, reused across iterations.
-	w     []float64
-	touch []int32
-	y     []float64
-	obj   []float64
+	w      []float64 // FTRAN scratch
+	touch  []int32
+	w2     []float64 // spike scratch (Forrest–Tomlin)
+	touch2 []int32
+	rho    []float64 // BTRAN of the pivot row's unit vector
+	alpha  []float64 // pivot row over the columns
+	atouch []int32
+	y      []float64
+	obj    []float64
 }
 
 func solveSparse(p *Problem, maxIters int, warm *Basis) Solution {
@@ -102,21 +130,52 @@ func solveSparse(p *Problem, maxIters int, warm *Basis) Solution {
 	s.install(warm)
 	st, iters1 := s.phase1(maxIters)
 	if st == statusNumeric {
-		return solveFrom(p, maxIters, warm)
+		return denseRescue(p, maxIters, iters1, iters1, warm, s.downgraded)
 	}
 	if st != Optimal {
-		return Solution{Status: st, Iters: iters1}
+		return Solution{Status: st, Iters: iters1, WarmDowngraded: s.downgraded}
 	}
 	st, iters2 := s.phase2(maxIters)
 	if st == statusNumeric {
-		return solveFrom(p, maxIters, warm)
+		spentMax := iters1
+		if iters2 > spentMax {
+			spentMax = iters2
+		}
+		return denseRescue(p, maxIters, spentMax, iters1+iters2, warm, s.downgraded)
 	}
 	x := s.extract()
 	obj := 0.0
 	for j := 0; j < p.cols; j++ {
 		obj += p.obj[j] * x[j]
 	}
-	return Solution{Status: st, X: x, Obj: obj, Iters: iters1 + iters2, Basis: s.captureBasis()}
+	return Solution{
+		Status: st, X: x, Obj: obj, Iters: iters1 + iters2,
+		Basis: s.captureBasis(), WarmDowngraded: s.downgraded,
+	}
+}
+
+// denseRescue hands a numerically failed sparse solve to the dense
+// tableau oracle. The pivots the sparse attempt already spent are
+// charged against the caller's budget — a bounded request is never
+// silently given a fresh allowance — and the fallback is reported on
+// the Solution so callers can count it. The budget contract is
+// per-phase (see SolveWithLimit), so the rescue's per-phase allowance
+// is maxIters minus the most any sparse phase spent (spentMax); a
+// phase that exhausts its budget returns IterLimit rather than
+// statusNumeric, so at a genuine numeric failure the remainder is
+// positive and the rescue always runs. Iters reports total pivots:
+// everything the sparse attempt burned (spentTotal) plus the dense
+// finish.
+func denseRescue(p *Problem, maxIters, spentMax, spentTotal int, warm *Basis, downgraded bool) Solution {
+	remaining := maxIters - spentMax
+	if remaining <= 0 {
+		return Solution{Status: IterLimit, Iters: spentTotal, NumericFallback: true, WarmDowngraded: downgraded}
+	}
+	sol := solveFrom(p, remaining, warm)
+	sol.Iters += spentTotal
+	sol.NumericFallback = true
+	sol.WarmDowngraded = downgraded
+	return sol
 }
 
 func newSpx(p *Problem) *spx {
@@ -159,30 +218,54 @@ func newSpx(p *Problem) *spx {
 	}
 	s.basis = make([]int, m)
 	s.inB = make([]bool, n)
-	for i := 0; i < m; i++ {
-		s.basis[i] = p.cols + i
-		s.inB[p.cols+i] = true
-	}
 	s.xB = make([]float64, m)
 	s.w = make([]float64, m)
+	s.w2 = make([]float64, m)
+	s.rho = make([]float64, m)
 	s.y = make([]float64, m)
 	s.obj = make([]float64, n)
+	s.d = make([]float64, n)
+	s.dw = make([]float64, n)
+	s.inCand = make([]bool, n)
+	s.alpha = make([]float64, n)
+	s.fac = newLU(m)
+	s.slackBasis()
 	return s
 }
 
-// colScatter writes column j into the (zeroed) scratch w and returns
-// the touched row list.
-func (s *spx) colScatter(j int, touch []int32) []int32 {
+// slackBasis resets to B = I: every row's own slack basic, an
+// identity factorization.
+func (s *spx) slackBasis() {
+	f := s.fac
+	f.reset()
+	for i := 0; i < s.m; i++ {
+		f.porder = append(f.porder, int32(i))
+		f.pos[i] = int32(i)
+		f.udiag[i] = 1
+		s.basis[i] = s.p.cols + i
+	}
+	for j := range s.inB {
+		s.inB[j] = false
+	}
+	for _, j := range s.basis {
+		s.inB[j] = true
+	}
+	s.baseNNZ = s.fac.nnz()
+}
+
+// colScatter writes column j into the (zeroed) scratch dst and
+// returns the touched row list.
+func (s *spx) colScatter(j int, dst []float64, touch []int32) []int32 {
 	switch {
 	case j < s.p.cols:
 		rows, vals := s.p.colRow[j], s.p.colVal[j]
 		for k, r := range rows {
-			s.w[r] = vals[k]
+			dst[r] = vals[k]
 			touch = append(touch, r)
 		}
 	case j < s.n:
 		r := int32(j - s.p.cols)
-		s.w[r] = 1
+		dst[r] = 1
 		touch = append(touch, r)
 	default:
 		k := j - s.n
@@ -190,12 +273,12 @@ func (s *spx) colScatter(j int, touch []int32) []int32 {
 		if ref := s.artCol[k]; ref < s.p.cols {
 			rows, vals := s.p.colRow[ref], s.p.colVal[ref]
 			for kk, r := range rows {
-				s.w[r] = sign * vals[kk]
+				dst[r] = sign * vals[kk]
 				touch = append(touch, r)
 			}
 		} else {
 			r := int32(ref - s.p.cols)
-			s.w[r] = sign
+			dst[r] = sign
 			touch = append(touch, r)
 		}
 	}
@@ -229,71 +312,11 @@ func (s *spx) colDot(j int, y []float64) float64 {
 	}
 }
 
-// ftran applies B⁻¹ to the scratch w in place. touch lists the rows
-// that may be nonzero; rows newly filled in are appended (possibly
-// with duplicates — consumers must treat touch idempotently or
-// consume-and-zero entries as they go).
-func (s *spx) ftran(touch []int32) []int32 {
-	for ei := range s.etas {
-		e := &s.etas[ei]
-		t := s.w[e.r]
-		if t == 0 {
-			continue
-		}
-		t /= e.pr
-		s.w[e.r] = t
-		for k, i := range e.idx {
-			if s.w[i] == 0 {
-				touch = append(touch, i)
-			}
-			s.w[i] -= e.val[k] * t
-		}
-	}
-	return touch
-}
-
-// btran applies B⁻¹ from the left: y ← y·B⁻¹ (etas in reverse).
-func (s *spx) btran(y []float64) {
-	for t := len(s.etas) - 1; t >= 0; t-- {
-		e := &s.etas[t]
-		acc := y[e.r]
-		for k, i := range e.idx {
-			acc -= e.val[k] * y[i]
-		}
-		y[e.r] = acc / e.pr
-	}
-}
-
 // clearW zeroes the scratch via its touch list.
 func (s *spx) clearW(touch []int32) {
 	for _, i := range touch {
 		s.w[i] = 0
 	}
-}
-
-// appendEta records the current scratch w as an eta at pivot row r,
-// consuming (zeroing) w through touch.
-func (s *spx) appendEta(r int32, touch []int32) {
-	pr := s.w[r]
-	s.w[r] = 0
-	var idx []int32
-	var val []float64
-	for _, i := range touch {
-		v := s.w[i]
-		if v == 0 {
-			continue
-		}
-		s.w[i] = 0
-		if math.Abs(v) > etaDropTol {
-			idx = append(idx, i)
-			val = append(val, v)
-		}
-	}
-	if pr == 1 && len(idx) == 0 {
-		return // identity transformation
-	}
-	s.etas = append(s.etas, eta{r: r, pr: pr, idx: idx, val: val})
-	s.etaNNZ += len(idx) + 1
 }
 
 // computeXB recomputes the basic values exactly:
@@ -328,30 +351,19 @@ func (s *spx) computeXB() {
 			}
 		}
 	}
-	// Dense FTRAN of the full vector (no touch bookkeeping needed).
-	for ei := range s.etas {
-		e := &s.etas[ei]
-		t := v[e.r]
-		if t == 0 {
-			continue
-		}
-		t /= e.pr
-		v[e.r] = t
-		for k, i := range e.idx {
-			v[i] -= e.val[k] * t
-		}
-	}
+	s.fac.ftranDense(v)
 	copy(s.xB, v)
 }
 
 // install establishes the starting point. With no warm basis the slack
-// basis stands (B = I, empty eta file). With one, nonbasic columns
-// move to their recorded bounds, and the recorded basis is either
-// adopted wholesale — same matrix stamp and basic columns mean the
-// factorization snapshot applies verbatim, the O(nnz) path — or
-// reinstalled by factoring its columns from scratch.
+// basis stands (B = I, identity factorization). With one, nonbasic
+// columns move to their recorded bounds, and the recorded basis is
+// either adopted wholesale — same matrix stamp and basic columns mean
+// the factorization snapshot applies verbatim, the O(nnz) path — or
+// refactored from its columns.
 func (s *spx) install(warm *Basis) {
 	if warm == nil || len(warm.cols) != s.m || len(warm.atHi) != s.n {
+		s.crashRest()
 		s.computeXB()
 		return
 	}
@@ -380,7 +392,7 @@ func (s *spx) install(warm *Basis) {
 		if col < 0 || col >= s.n || used[col] {
 			col = s.p.cols + i
 			if used[col] {
-				col = -1 // resolved by the factoring fallback below
+				col = -1 // resolved by the refactoring fallback below
 			}
 		}
 		target[i] = col
@@ -391,13 +403,23 @@ func (s *spx) install(warm *Basis) {
 
 	adopted := false
 	if f := warm.fac; f != nil && f.mid == s.p.mid && f.m == s.m && f.n == s.n && equalInts(f.cols, target) {
-		s.etas = append(s.etas[:0], f.etas...)
-		s.etaNNZ = f.nnz
+		// The copy carries the snapshot's accumulated update count, so
+		// a chain of short warm solves still refactorizes (and purges
+		// accumulated fill and drift) on the shared schedule.
+		s.fac = f.lu.copyLU()
 		copy(s.basis, f.cols)
+		s.baseNNZ = s.fac.nnz()
 		adopted = true
 	}
 	if !adopted {
-		s.reinstall(target)
+		if s.reinstall(target) {
+			// Numerically defeated (wholly or in part): the warm basis
+			// was not reproduced — dependent columns were swapped for
+			// slacks, or the whole basis reset to all-slack. Reported
+			// so warm-start assertions cannot pass vacuously against
+			// what is really a (partly) cold solve.
+			s.downgraded = true
+		}
 	}
 	for j := range s.inB {
 		s.inB[j] = false
@@ -408,97 +430,152 @@ func (s *spx) install(warm *Basis) {
 	s.computeXB()
 }
 
-// reinstall factors the target basis from scratch: columns are pivoted
-// in ascending-sparsity order, each FTRANed through the partial eta
-// file and assigned the unpivoted row where it is largest. Columns
-// that have gone numerically dependent are dropped; unfilled rows fall
-// back to unused slacks (always completable — the slacks alone span).
-func (s *spx) reinstall(target []int) {
-	s.etas = s.etas[:0]
-	s.etaNNZ = 0
-	s.pivots = 0
-
-	colNNZ := func(j int) int {
-		if j < s.p.cols {
-			return len(s.p.colRow[j])
-		}
-		return 1
+// boundDist is the distance of v from the interval [lo, hi].
+func boundDist(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo - v
 	}
-	// Insertion-sort the candidate columns by sparsity (m is moderate
-	// and the lists are near-sorted in practice).
+	if v > hi {
+		return v - hi
+	}
+	return 0
+}
+
+// crashRest greedily flips nonbasic rest positions before a cold
+// solve so that fewer rows start outside their slack bounds — a
+// bound-flip crash. The slack basis stays (B = I, trivially
+// factored); only where the binaries *rest* moves. Each pass walks
+// the rows in order, flipping finite-boxed structural columns across
+// when that strictly shrinks the row's violation; chains (a flip
+// satisfying one row re-violating an earlier one) settle over the
+// fixed pass budget, and whatever violation remains is phase 1's job.
+// On the BIP shapes above this package (Σ choice = 1 assignment rows
+// over binaries) this removes most phase-1 artificials outright.
+func (s *spx) crashRest() {
+	for pass := 0; pass < 3; pass++ {
+		changed := false
+		for i := range s.p.rows {
+			r := &s.p.rows[i]
+			slo, shi := s.lo[s.p.cols+i], s.hi[s.p.cols+i]
+			act := 0.0
+			for _, c := range r.coefs {
+				act += c.Val * s.x[c.Col]
+			}
+			sv := r.rhs - act // the slack's starting basic value
+			viol := boundDist(sv, slo, shi)
+			if viol <= eps {
+				continue
+			}
+			for _, c := range r.coefs {
+				j := c.Col
+				if s.lo[j] == s.hi[j] || math.IsInf(s.lo[j], 0) || math.IsInf(s.hi[j], 0) {
+					continue
+				}
+				delta := c.Val * (s.hi[j] - s.lo[j]) // act change of an up-flip
+				if s.atHi[j] {
+					delta = -delta
+				}
+				if nv := boundDist(sv-delta, slo, shi); nv < viol-eps {
+					s.atHi[j] = !s.atHi[j]
+					if s.atHi[j] {
+						s.x[j] = s.hi[j]
+					} else {
+						s.x[j] = s.lo[j]
+					}
+					sv -= delta
+					viol = nv
+					changed = true
+					if viol <= eps {
+						break
+					}
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+}
+
+// reinstall refactors the target basis from its columns. Columns that
+// have gone numerically dependent are replaced by unused slacks
+// (always completable in exact arithmetic — the slacks alone span);
+// if even the slack-completed set cannot be factored the all-slack
+// basis stands. The return reports any downgrade — the target basis
+// was not reproduced faithfully, whether one column was swapped for a
+// slack or the whole basis was reset — so a warm install can surface
+// it instead of letting warm-start assertions pass vacuously.
+func (s *spx) reinstall(target []int) bool {
+	total := s.n + s.nArt
 	cols := make([]int, 0, s.m)
+	used := make([]bool, total)
 	for _, j := range target {
-		if j >= 0 {
+		if j >= 0 && j < total && !used[j] {
+			used[j] = true
 			cols = append(cols, j)
 		}
 	}
-	for i := 1; i < len(cols); i++ {
-		for k := i; k > 0 && colNNZ(cols[k]) < colNNZ(cols[k-1]); k-- {
-			cols[k], cols[k-1] = cols[k-1], cols[k]
+	for i := 0; i < s.m && len(cols) < s.m; i++ {
+		if j := s.p.cols + i; !used[j] {
+			used[j] = true
+			cols = append(cols, j)
 		}
 	}
+	if s.factor(cols) > 0 {
+		// Swap the dropped columns for unused slacks and retry once.
+		cols = cols[:0]
+		for i := range used {
+			used[i] = false
+		}
+		for _, j := range s.basis {
+			if j >= 0 {
+				used[j] = true
+				cols = append(cols, j)
+			}
+		}
+		for i := 0; i < s.m && len(cols) < s.m; i++ {
+			if j := s.p.cols + i; !used[j] {
+				used[j] = true
+				cols = append(cols, j)
+			}
+		}
+		if s.factor(cols) > 0 {
+			s.slackBasis()
+		}
+		s.baseNNZ = s.fac.nnz()
+		return true
+	}
+	s.baseNNZ = s.fac.nnz()
+	return false
+}
 
-	assigned := make([]bool, s.m)
-	placed := make([]bool, s.n+s.nArt)
-	for i := range s.basis {
-		s.basis[i] = -1
+// refactorize rebuilds the factorization of the current basis
+// mid-solve. A refactorization of the *current* basis must reproduce
+// it; a dropped column or a bound violation in the exact basic-value
+// recompute means the factors had degraded — surfaced as
+// statusNumeric instead of iterating on an infeasible point.
+func (s *spx) refactorize() Status {
+	before := append([]int(nil), s.basis...)
+	s.reinstall(before)
+	for j := range s.inB {
+		s.inB[j] = false
 	}
-	pivotIn := func(j int) {
-		touch := s.colScatter(j, s.touch[:0])
-		touch = s.ftran(touch)
-		r, best := int32(-1), pivotEps
-		for _, i := range touch {
-			if assigned[i] {
-				continue
-			}
-			if a := math.Abs(s.w[i]); a > best {
-				r, best = i, a
-			}
+	for _, j := range s.basis {
+		if j >= 0 {
+			s.inB[j] = true
 		}
-		if r < 0 {
-			s.clearW(touch)
-			s.touch = touch
-			return // dependent (or negligible) column: drop it
-		}
-		s.appendEta(r, touch)
-		s.touch = touch
-		assigned[r] = true
-		placed[j] = true
-		s.basis[r] = j
 	}
-	for _, j := range cols {
-		pivotIn(j)
+	s.computeXB()
+	if !sameBasisSet(before, s.basis) {
+		return statusNumeric
 	}
 	for i := 0; i < s.m; i++ {
-		if assigned[i] {
-			continue
-		}
-		if j := s.p.cols + i; !placed[j] {
-			pivotIn(j)
+		j := s.basis[i]
+		if s.xB[i] < s.lo[j]-1e-6 || s.xB[i] > s.hi[j]+1e-6 {
+			return statusNumeric
 		}
 	}
-	for i := 0; i < s.m; i++ { // any rows still open take any unused slack
-		if assigned[i] {
-			continue
-		}
-		for k := 0; k < s.m; k++ {
-			if j := s.p.cols + k; !placed[j] {
-				pivotIn(j)
-				break
-			}
-		}
-	}
-	for i := 0; i < s.m; i++ {
-		if s.basis[i] < 0 {
-			// Numerically defeated: restart from the slack basis.
-			s.etas = s.etas[:0]
-			s.etaNNZ = 0
-			for r := 0; r < s.m; r++ {
-				s.basis[r] = s.p.cols + r
-			}
-			return
-		}
-	}
+	return Optimal
 }
 
 // sameBasisSet reports whether two basis assignments hold the same
@@ -541,10 +618,10 @@ func equalInts(a, b []int) bool {
 // it displaces. This is the original-coordinate form of the dense
 // oracle's "+1 in row i of the eliminated tableau" (e_i in the
 // eliminated frame is B·e_i = A_old in original coordinates): its
-// FTRAN is exactly σ·e_i, so the insertion pivot is trivial and, like
-// the dense version, perfectly row-local — inserting one row's
-// artificial never perturbs another row's basic value, which keeps the
-// violation snapshot taken above consistent for every row.
+// FTRAN is exactly σ·e_i, so the insertion is a column scaling of U
+// and, like the dense version, perfectly row-local — inserting one
+// row's artificial never perturbs another row's basic value, which
+// keeps the violation snapshot taken above consistent for every row.
 func (s *spx) phase1(maxIters int) (Status, int) {
 	var artRows []int
 	for i := 0; i < s.m; i++ {
@@ -566,6 +643,10 @@ func (s *spx) phase1(maxIters int) (Status, int) {
 	s.atHi = append(s.atHi, make([]bool, s.nArt)...)
 	s.inB = append(s.inB, make([]bool, s.nArt)...)
 	s.obj = append(s.obj, make([]float64, s.nArt)...)
+	s.d = append(s.d, make([]float64, s.nArt)...)
+	s.dw = append(s.dw, make([]float64, s.nArt)...)
+	s.inCand = append(s.inCand, make([]bool, s.nArt)...)
+	s.alpha = append(s.alpha, make([]float64, s.nArt)...)
 
 	for k, i := range artRows {
 		old := s.basis[i]
@@ -594,8 +675,9 @@ func (s *spx) phase1(maxIters int) (Status, int) {
 		s.lo[j], s.hi[j] = 0, math.Inf(1)
 		s.obj[j] = 1
 		if sigma != 1 {
-			s.etas = append(s.etas, eta{r: int32(i), pr: sigma})
-			s.etaNNZ++
+			// The basis column at pivot row i is now σ times itself;
+			// scaling the matching U column keeps B = L·U exact.
+			s.fac.scaleCol(int32(i), sigma)
 		}
 
 		s.x[old] = pin
@@ -657,80 +739,213 @@ func (s *spx) phase2(maxIters int) (Status, int) {
 	return s.iterate(maxIters)
 }
 
+// refreshD recomputes the reduced costs exactly from the duals
+// y = c_B·B⁻¹ — the periodic (and optimality-confirming) correction
+// to the per-pivot d ← d − θ_d·α updates.
+func (s *spx) refreshD() {
+	total := s.n + s.nArt
+	for i := 0; i < s.m; i++ {
+		s.y[i] = s.obj[s.basis[i]]
+	}
+	s.fac.btran(s.y)
+	s.cand = s.cand[:0]
+	for j := 0; j < total; j++ {
+		if s.inB[j] {
+			s.d[j] = 0
+			s.inCand[j] = false
+			continue
+		}
+		d := s.obj[j] - s.colDot(j, s.y)
+		s.d[j] = d
+		// Fixed columns can never become eligible within a solve (their
+		// bounds do not move mid-solve); keep them off the list.
+		if (d < -eps || d > eps) && s.lo[j] != s.hi[j] {
+			s.cand = append(s.cand, int32(j))
+			s.inCand[j] = true
+		} else {
+			s.inCand[j] = false
+		}
+	}
+}
+
+// candAdd registers a column whose maintained reduced cost turned
+// attractive since the last refresh.
+func (s *spx) candAdd(j int32) {
+	if !s.inCand[j] {
+		s.inCand[j] = true
+		s.cand = append(s.cand, j)
+	}
+}
+
+// pivotRowAlpha computes the pivot row of the simplex tableau for the
+// leaving row: ρ = e_r·B⁻¹ (sparse BTRAN), then α_j = ρ·A_j scattered
+// over the columns via the problem's row-major store. α drives both
+// the reduced-cost update and the devex weight update; its support is
+// returned in s.atouch and must be consumed (zeroed) by the caller.
+func (s *spx) pivotRowAlpha(leave int32) {
+	for i := range s.rho {
+		s.rho[i] = 0
+	}
+	s.rho[leave] = 1
+	s.fac.btranRow(leave, s.rho)
+	s.atouch = s.atouch[:0]
+	for i := 0; i < s.m; i++ {
+		ri := s.rho[i]
+		if ri == 0 {
+			continue
+		}
+		for _, c := range s.p.rows[i].coefs {
+			if s.alpha[c.Col] == 0 {
+				s.atouch = append(s.atouch, int32(c.Col))
+			}
+			s.alpha[c.Col] += ri * c.Val
+		}
+		j := s.p.cols + i
+		if s.alpha[j] == 0 {
+			s.atouch = append(s.atouch, int32(j))
+		}
+		s.alpha[j] += ri
+	}
+	for k := 0; k < s.nArt; k++ {
+		j := s.n + k
+		if s.inB[j] || s.lo[j] == s.hi[j] {
+			continue
+		}
+		if v := s.colDot(j, s.rho); v != 0 && s.alpha[j] == 0 {
+			s.alpha[j] = v
+			s.atouch = append(s.atouch, int32(j))
+		}
+	}
+}
+
 // iterate runs revised-simplex pivots until optimality for the
-// current objective, mirroring the dense oracle's pricing and ratio
-// rules (Dantzig scores with a Bland fallback past half the budget).
+// current objective: devex pricing over maintained reduced costs, the
+// bounded-variable ratio test, and a Forrest–Tomlin factor update per
+// basis change. Optimality is only declared on exactly recomputed
+// reduced costs.
 func (s *spx) iterate(maxIters int) (Status, int) {
 	total := s.n + s.nArt
+	s.refreshD()
+	fresh := true
+	s.degen = 0
+	s.bland = false
+	for j := range s.dw {
+		s.dw[j] = 1
+	}
 	iters := 0
 	for ; iters < maxIters; iters++ {
-		if s.pivots >= refactorEvery || s.etaNNZ > 4*s.m+2*s.p.nnz+64 {
-			before := append([]int(nil), s.basis...)
-			s.reinstall(before)
-			for j := range s.inB {
-				s.inB[j] = false
+		// Rebuild on the update-count schedule, on fill doubling, or —
+		// for factors inherited through warm-start chains — past an
+		// absolute fill cap (only when updates occurred: a fresh factor
+		// over the cap must not rebuild itself in a loop).
+		if s.fac.updates >= refactorEvery ||
+			(s.fac.updates > 0 && (s.fac.nnz() > 2*s.baseNNZ+4*s.m+64 || s.fac.nnz() > 4*s.m+2*s.p.nnz+256)) {
+			if st := s.refactorize(); st != Optimal {
+				return st, iters
 			}
-			for _, j := range s.basis {
-				s.inB[j] = true
-			}
-			s.computeXB()
-			// A refactorization of the *current* basis must reproduce
-			// it; a dropped column or a bound violation in the exact
-			// basic-value recompute means the eta file had degraded —
-			// surface it instead of iterating on an infeasible point.
-			if !sameBasisSet(before, s.basis) {
-				return statusNumeric, iters
-			}
-			for i := 0; i < s.m; i++ {
-				j := s.basis[i]
-				if s.xB[i] < s.lo[j]-1e-6 || s.xB[i] > s.hi[j]+1e-6 {
-					return statusNumeric, iters
-				}
-			}
+			s.refreshD()
+			fresh = true
 		}
 
-		// Duals: y = c_B·B⁻¹.
-		for i := 0; i < s.m; i++ {
-			s.y[i] = s.obj[s.basis[i]]
+		// Anti-cycling guard: after a degeneracy stall, recompute the
+		// reduced costs once and price by Bland's rule until a
+		// nondegenerate pivot is made.
+		if s.degen > degenStall(s.m) && !s.bland {
+			s.bland = true
+			s.refreshD()
+			fresh = true
 		}
-		s.btran(s.y)
+		useBland := s.bland || iters > maxIters/2
 
-		// Pricing.
+		// Pricing over the maintained reduced costs. The candidate list
+		// holds every column whose d turned attractive since the last
+		// exact refresh; entries gone stale are compacted away here, so
+		// a pricing pass costs O(candidates), not O(n). Bland's rule
+		// needs the minimum *index*, so it scans the full range.
 		enter := -1
 		var enterDir float64
-		bestScore := eps
-		useBland := iters > maxIters/2
-		for j := 0; j < total; j++ {
-			if s.inB[j] || s.lo[j] == s.hi[j] {
-				continue
-			}
-			d := s.obj[j] - s.colDot(j, s.y)
-			var score, dir float64
-			switch {
-			case !s.atHi[j] && d < -eps:
-				score, dir = -d, 1
-			case s.atHi[j] && d > eps:
-				score, dir = d, -1
-			case math.IsInf(s.lo[j], 0) && math.IsInf(s.hi[j], 0) && d > eps:
-				score, dir = d, -1
-			default:
-				continue
-			}
-			if useBland {
+		bestScore := 0.0
+		if useBland {
+			for j := 0; j < total; j++ {
+				d := s.d[j]
+				var dir float64
+				if d < -eps {
+					if s.atHi[j] || s.inB[j] || s.lo[j] == s.hi[j] {
+						continue
+					}
+					dir = 1
+				} else if d > eps {
+					if s.inB[j] || s.lo[j] == s.hi[j] {
+						continue
+					}
+					if !s.atHi[j] && !(math.IsInf(s.lo[j], 0) && math.IsInf(s.hi[j], 0)) {
+						continue
+					}
+					dir = -1
+				} else {
+					continue
+				}
 				enter, enterDir = j, dir
 				break
 			}
-			if score > bestScore {
-				bestScore, enter, enterDir = score, j, dir
+		} else {
+			keep := s.cand[:0]
+			for _, j := range s.cand {
+				// Only currently eligible columns survive compaction: a
+				// nonbasic column's bound side cannot change while it
+				// is ineligible, and any d movement re-adds it through
+				// candAdd — so dropped entries cannot be missed later.
+				d := s.d[j]
+				if (d >= -eps && d <= eps) || s.inB[j] {
+					s.inCand[j] = false
+					continue
+				}
+				var dir float64
+				if d < -eps {
+					if s.atHi[j] {
+						s.inCand[j] = false
+						continue
+					}
+					dir = 1
+				} else {
+					if !s.atHi[j] && !(math.IsInf(s.lo[j], 0) && math.IsInf(s.hi[j], 0)) {
+						s.inCand[j] = false
+						continue
+					}
+					dir = -1
+				}
+				keep = append(keep, j)
+				if score := d * d / s.dw[j]; score > bestScore {
+					bestScore, enter, enterDir = score, int(j), dir
+				}
 			}
+			s.cand = keep
 		}
 		if enter == -1 {
+			if !fresh {
+				// The maintained costs say optimal; confirm against
+				// exactly recomputed ones before declaring it.
+				s.refreshD()
+				fresh = true
+				iters--
+				continue
+			}
 			return Optimal, iters
 		}
 
-		// FTRAN the entering column.
-		touch := s.colScatter(enter, s.touch[:0])
-		touch = s.ftran(touch)
+		// FTRAN the entering column: the L half lands in w2 — kept as
+		// the Forrest–Tomlin spike if this iteration pivots — and the
+		// U back-substitution completes on a copy in w.
+		touch2 := s.colScatter(enter, s.w2, s.touch2[:0])
+		touch2 = s.fac.halfFtran(s.w2, touch2)
+		touch := s.touch[:0]
+		for _, i := range touch2 {
+			if v := s.w2[i]; v != 0 && s.w[i] == 0 {
+				s.w[i] = v
+				touch = append(touch, i)
+			}
+		}
+		touch = s.fac.utran(s.w, touch)
 
 		// Ratio test (idempotent over possible duplicate touches).
 		limit := math.Inf(1)
@@ -765,14 +980,25 @@ func (s *spx) iterate(maxIters int) (Status, int) {
 		if math.IsInf(limit, 1) {
 			s.clearW(touch)
 			s.touch = touch
+			for _, i := range touch2 {
+				s.w2[i] = 0
+			}
+			s.touch2 = touch2
 			return Unbounded, iters
 		}
 		if limit < 0 {
 			limit = 0
 		}
+		if limit > eps {
+			s.degen = 0
+			s.bland = false
+		} else {
+			s.degen++
+		}
 
 		if leave == -1 {
-			// Bound flip: basis unchanged, basic values shift.
+			// Bound flip: basis unchanged, basic values shift; the
+			// reduced costs do not move (same basis, same duals).
 			for _, i := range touch {
 				v := s.w[i]
 				if v == 0 {
@@ -782,6 +1008,10 @@ func (s *spx) iterate(maxIters int) (Status, int) {
 				s.xB[i] -= enterDir * limit * v
 			}
 			s.touch = touch
+			for _, i := range touch2 {
+				s.w2[i] = 0
+			}
+			s.touch2 = touch2
 			s.atHi[enter] = !s.atHi[enter]
 			if s.atHi[enter] {
 				s.x[enter] = s.hi[enter]
@@ -791,12 +1021,52 @@ func (s *spx) iterate(maxIters int) (Status, int) {
 			continue
 		}
 
-		// Pivot: entering becomes basic at row `leave`.
+		// Pivot: entering becomes basic at row `leave`. First the dual
+		// side — the pivot row α prices the reduced-cost and devex
+		// weight updates against the pre-pivot factorization.
 		out := s.basis[leave]
-		enterVal := s.x[enter] + enterDir*limit
 		pr := s.w[leave]
-		var idx []int32
-		var val []float64
+		enterVal := s.x[enter] + enterDir*limit
+		thetaD := s.d[enter] / pr
+		wq := s.dw[enter]
+		s.pivotRowAlpha(leave)
+		for _, j := range s.atouch {
+			aj := s.alpha[j]
+			s.alpha[j] = 0
+			if aj == 0 || s.inB[j] || int(j) == enter {
+				continue
+			}
+			nd := s.d[j] - thetaD*aj
+			s.d[j] = nd
+			if nd < -eps || nd > eps {
+				s.candAdd(j)
+			}
+			if nw := (aj / pr) * (aj / pr) * wq; nw > s.dw[j] {
+				s.dw[j] = nw
+			}
+		}
+		s.d[enter] = 0
+		s.d[out] = -thetaD
+		if thetaD < -eps || thetaD > eps {
+			s.candAdd(int32(out))
+		}
+		if nw := wq / (pr * pr); nw > 1 {
+			if nw > devexReset {
+				// The reference framework has drifted too far; rebuild
+				// it with the current basis as reference.
+				for j := range s.dw {
+					s.dw[j] = 1
+				}
+			} else {
+				s.dw[out] = nw
+			}
+		} else {
+			s.dw[out] = 1
+		}
+		fresh = false
+
+		// Primal side: basic values shift along w; the spike in w2 is
+		// handed to the factor update below.
 		s.w[leave] = 0
 		for _, i := range touch {
 			v := s.w[i]
@@ -805,15 +1075,8 @@ func (s *spx) iterate(maxIters int) (Status, int) {
 			}
 			s.w[i] = 0
 			s.xB[i] -= enterDir * limit * v
-			if math.Abs(v) > etaDropTol {
-				idx = append(idx, i)
-				val = append(val, v)
-			}
 		}
 		s.touch = touch
-		s.etas = append(s.etas, eta{r: leave, pr: pr, idx: idx, val: val})
-		s.etaNNZ += len(idx) + 1
-		s.pivots++
 
 		s.basis[leave] = enter
 		s.inB[enter] = true
@@ -828,6 +1091,19 @@ func (s *spx) iterate(maxIters int) (Status, int) {
 		if math.IsInf(s.x[out], 0) {
 			s.x[out] = 0
 		}
+
+		if !s.fac.ftUpdate(leave, s.w2, touch2) {
+			s.touch2 = touch2
+			// The update went numerically degenerate; rebuild the
+			// factors for the (already updated) basis from scratch.
+			if st := s.refactorize(); st != Optimal {
+				return st, iters + 1
+			}
+			s.refreshD()
+			fresh = true
+			continue
+		}
+		s.touch2 = touch2
 	}
 	return IterLimit, iters
 }
@@ -862,13 +1138,15 @@ func (s *spx) captureBasis() *Basis {
 		}
 	}
 	if !hasArt {
+		// The snapshot takes the live factorization without copying:
+		// captureBasis runs once, after the final pivot, and every
+		// adopter (install) deep-copies before mutating.
 		b.fac = &facSnapshot{
 			mid:  s.p.mid,
 			m:    s.m,
 			n:    s.n,
 			cols: append([]int(nil), s.basis...),
-			etas: append([]eta(nil), s.etas...),
-			nnz:  s.etaNNZ,
+			lu:   s.fac,
 		}
 	}
 	return b

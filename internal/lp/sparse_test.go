@@ -43,10 +43,19 @@ func TestSparseMatchesDenseOracle(t *testing.T) {
 			if sp.Basis == nil {
 				t.Fatalf("seed %d: no basis captured", seed)
 			}
-			// Basis round-trip: warm re-solve reproduces the optimum.
+			if sp.NumericFallback {
+				// The pin must exercise the LU path itself, not a
+				// silent dense rescue pretending to be it.
+				t.Fatalf("seed %d: sparse solve fell back to the dense oracle", seed)
+			}
+			// Basis round-trip: warm re-solve reproduces the optimum,
+			// with the warm basis adopted faithfully.
 			re := SolveFrom(p, sp.Basis)
 			if re.Status != Optimal || math.Abs(re.Obj-sp.Obj) > tol {
 				t.Fatalf("seed %d: basis round-trip %v obj %v (want %v)", seed, re.Status, re.Obj, sp.Obj)
+			}
+			if re.WarmDowngraded || re.NumericFallback {
+				t.Fatalf("seed %d: round-trip degraded (downgrade=%v fallback=%v)", seed, re.WarmDowngraded, re.NumericFallback)
 			}
 			// And the dense installer accepts the same basis.
 			red := SolveDenseFrom(p, sp.Basis)

@@ -60,6 +60,11 @@ func TestWarmStartMatchesColdOptimum(t *testing.T) {
 			if math.Abs(coldChild.Obj-warmChild.Obj) > 1e-6*math.Max(1, math.Abs(coldChild.Obj)) {
 				t.Fatalf("seed %d fix x%d=%v: warm obj %v != cold obj %v", seed, j, v, warmChild.Obj, coldChild.Obj)
 			}
+			if warmChild.WarmDowngraded {
+				// The whole point of the assertion above is that it ran
+				// warm; a downgraded install would make it vacuous.
+				t.Fatalf("seed %d fix x%d=%v: warm basis downgraded to cold", seed, j, v)
+			}
 		}
 
 		// Objective-only change (the z-subproblem pattern): the warm
@@ -73,6 +78,9 @@ func TestWarmStartMatchesColdOptimum(t *testing.T) {
 		warmR := SolveFrom(reobj, cold.Basis)
 		if coldR.Status != Optimal || warmR.Status != Optimal {
 			t.Fatalf("seed %d: reobj status %v / %v", seed, coldR.Status, warmR.Status)
+		}
+		if warmR.WarmDowngraded {
+			t.Fatalf("seed %d: reobj warm basis downgraded to cold", seed)
 		}
 		if math.Abs(coldR.Obj-warmR.Obj) > 1e-6*math.Max(1, math.Abs(coldR.Obj)) {
 			t.Fatalf("seed %d: reobj warm %v != cold %v", seed, warmR.Obj, coldR.Obj)

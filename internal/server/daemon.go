@@ -114,15 +114,17 @@ type Daemon struct {
 	wiSeen  map[string]bool
 	wiOrder []string
 
-	ingested      atomic.Int64
-	whatifs       atomic.Int64
-	recommends    atomic.Int64
-	evicted       atomic.Int64
-	rebases       atomic.Int64
-	compactions   atomic.Int64
-	walRecords    atomic.Int64
-	snapshots     atomic.Int64
-	persistErrors atomic.Int64
+	ingested       atomic.Int64
+	numFallbacks   atomic.Int64
+	warmDowngrades atomic.Int64
+	whatifs        atomic.Int64
+	recommends     atomic.Int64
+	evicted        atomic.Int64
+	rebases        atomic.Int64
+	compactions    atomic.Int64
+	walRecords     atomic.Int64
+	snapshots      atomic.Int64
+	persistErrors  atomic.Int64
 }
 
 // maxWhatIfEntries caps the distinct what-if statements whose template
@@ -464,6 +466,8 @@ func (d *Daemon) Recommend(ctx context.Context, opts RecommendOptions) (Recommen
 		return RecommendResult{}, err
 	}
 	d.recommends.Add(1)
+	d.numFallbacks.Add(int64(res.NumericFallbacks))
+	d.warmDowngrades.Add(int64(res.WarmDowngrades))
 	d.lastBudget = opts.BudgetFraction
 	// Log the post-solve session state — candidates, constraint knob,
 	// duals, incumbent — as an absolute WAL record, so a hard kill any
@@ -512,6 +516,14 @@ type Stats struct {
 	PreparedQueries int   `json:"prepared_queries"`
 	PrepCalls       int64 `json:"prep_calls"`
 	EvictedEntries  int64 `json:"evicted_entries"`
+	// NumericFallbacks counts LP solves (across all recommendations)
+	// that hit a numerical failure in the sparse simplex and were
+	// rescued by the dense oracle on the remaining iteration budget;
+	// WarmDowngrades counts warm bases numerically defeated into cold
+	// installs. Nonzero values mean the solver is paying for flaky
+	// bases — visible here instead of silently doubling solve work.
+	NumericFallbacks int64 `json:"numeric_fallbacks"`
+	WarmDowngrades   int64 `json:"warm_downgrades"`
 	// SessionRebases counts cold re-sessions forced by the candidate
 	// cap; SessionCompactions counts warm rebases onto the live
 	// candidate set (dead candidates outnumbered live ones and the
@@ -542,6 +554,8 @@ func (d *Daemon) Snapshot() Stats {
 		PreparedQueries:    d.ad.Inum.Prepared(),
 		PrepCalls:          calls,
 		EvictedEntries:     d.evicted.Load(),
+		NumericFallbacks:   d.numFallbacks.Load(),
+		WarmDowngrades:     d.warmDowngrades.Load(),
 		SessionRebases:     d.rebases.Load(),
 		SessionCompactions: d.compactions.Load(),
 		WALRecords:         d.walRecords.Load(),

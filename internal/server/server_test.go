@@ -129,6 +129,27 @@ func TestDaemonEndToEnd(t *testing.T) {
 	if st.WhatIfs != 2 || st.Recommends != 1 || st.Live != ing.Live {
 		t.Fatalf("stats %+v", st)
 	}
+
+	// The numeric-trouble counters must be *present* (zero, not
+	// missing) so a healthy daemon is distinguishable from one whose
+	// stats never report fallbacks at all.
+	raw, err := srv.Client().Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Body.Close()
+	var asMap map[string]any
+	if err := json.NewDecoder(raw.Body).Decode(&asMap); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"numeric_fallbacks", "warm_downgrades"} {
+		if _, ok := asMap[key]; !ok {
+			t.Fatalf("/stats missing %q: %v", key, asMap)
+		}
+	}
+	if st.NumericFallbacks != 0 || st.WarmDowngrades != 0 {
+		t.Fatalf("healthy run reported numeric trouble: %+v", st)
+	}
 }
 
 // TestRecommendWarmAfterDelta is the incremental-re-optimization pin:
