@@ -53,6 +53,8 @@ func main() {
 	minWeight := flag.Float64("min-weight", 1e-3, "eviction threshold for decayed statements")
 	reqTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request deadline for /recommend; the solver inherits the remaining time (0 disables)")
 	maxCandidates := flag.Int("max-candidates", 4096, "cap on the candidate set a /recommend may solve over; exceeding it answers 413 (0 disables)")
+	maxQueue := flag.Int("max-queue", 16, "bound on /recommend requests waiting for the session; arrivals beyond it are shed with 429 + Retry-After")
+	queueTimeout := flag.Duration("queue-timeout", 2*time.Second, "longest a /recommend may wait in the admission queue before it is shed with 429")
 	dataDir := flag.String("data-dir", "", "durable state directory: WAL + snapshots, recovered on startup (empty disables persistence)")
 	snapInterval := flag.Duration("snapshot-interval", 5*time.Minute, "period between durable snapshots when -data-dir is set (0 = only on shutdown and POST /snapshot)")
 	authToken := flag.String("auth-token", "", "bearer token required on mutating endpoints (/ingest, /recommend, /snapshot); empty disables auth")
@@ -84,6 +86,8 @@ func main() {
 		MinWeight:      *minWeight,
 		RequestTimeout: *reqTimeout,
 		MaxCandidates:  *maxCandidates,
+		MaxQueue:       *maxQueue,
+		QueueTimeout:   *queueTimeout,
 		Store:          store,
 		AuthToken:      *authToken,
 	})
@@ -124,6 +128,9 @@ func main() {
 	select {
 	case <-sig:
 		fmt.Println("cophyd shutting down")
+		// Drain first: /healthz flips to 503 "draining" so load
+		// balancers stop routing here while in-flight requests finish.
+		d.StartDraining()
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		_ = srv.Shutdown(ctx)

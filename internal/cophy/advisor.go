@@ -3,6 +3,7 @@ package cophy
 import (
 	"context"
 	"math"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/catalog"
@@ -35,7 +36,14 @@ type Advisor struct {
 	Eng  *engine.Engine
 	Inum *inum.Cache
 	Opts Options
+
+	solves atomic.Int64
 }
+
+// Solves counts the solver runs this advisor has started (across every
+// session), the denominator request-coalescing tests divide by: K
+// coalesced requests must show far fewer than K solves.
+func (a *Advisor) Solves() int64 { return a.solves.Load() }
 
 // NewAdvisor builds an advisor with a fresh INUM cache.
 func NewAdvisor(cat *catalog.Catalog, eng *engine.Engine, opts Options) *Advisor {
@@ -393,6 +401,7 @@ func (se *Session) SolveCtx(ctx context.Context) (*Result, error) {
 		return nil, err
 	}
 	ad := se.ad
+	ad.solves.Add(1)
 	inst := ad.instance(se.w, se.s)
 
 	t0 := time.Now()

@@ -1,0 +1,239 @@
+package persist
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+)
+
+// ErrInjected is the default error a FaultFS rule returns; fault tests
+// match on it to tell injected failures from real ones.
+var ErrInjected = errors.New("injected fault")
+
+// FaultOp names one syscall site the store drives through its FS seam.
+type FaultOp string
+
+const (
+	OpOpen     FaultOp = "open"
+	OpWrite    FaultOp = "write"
+	OpSync     FaultOp = "sync"
+	OpClose    FaultOp = "close"
+	OpRename   FaultOp = "rename"
+	OpRemove   FaultOp = "remove"
+	OpTruncate FaultOp = "truncate"
+	OpReadFile FaultOp = "readfile"
+	OpReadDir  FaultOp = "readdir"
+	OpMkdir    FaultOp = "mkdir"
+	OpSyncDir  FaultOp = "syncdir"
+)
+
+// FaultRule is one scheduled failure. The zero Match/Op fields mean
+// "any path" / "any op"; Nth selects which matching op fails (1-based,
+// counted per rule; 0 = every matching op); Times bounds how often the
+// rule fires (0 = forever). A fired rule returns Err (ErrInjected when
+// nil). For write ops, ShortBytes > 0 first writes that many bytes
+// through to the real file and then fails — a torn write, not a clean
+// refusal.
+type FaultRule struct {
+	Op         FaultOp
+	Match      string // substring of the path
+	Nth        int    // fail the Nth matching op (1-based); 0 = all
+	Times      int    // fire at most this often; 0 = unbounded
+	Err        error
+	ShortBytes int
+
+	seen  int // matching ops observed
+	fired int // times this rule has fired
+}
+
+// FaultFS wraps a real FS with a programmable disk-fault schedule. It
+// is test support compiled into the package so that both the persist
+// fault-schedule suite and the server's degraded-mode tests can inject
+// failures through the exact production code paths. Safe for
+// concurrent use.
+type FaultFS struct {
+	inner FS
+
+	mu     sync.Mutex
+	rules  []*FaultRule
+	ops    int64
+	counts map[FaultOp]int64
+}
+
+// NewFaultFS wraps inner (the real filesystem when nil).
+func NewFaultFS(inner FS) *FaultFS {
+	if inner == nil {
+		inner = osFS{}
+	}
+	return &FaultFS{inner: inner}
+}
+
+// Fail schedules one rule. Rules are consulted in the order added; the
+// first one that fires wins.
+func (f *FaultFS) Fail(rule FaultRule) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	r := rule
+	f.rules = append(f.rules, &r)
+}
+
+// Reset drops every rule — the disk is healthy again.
+func (f *FaultFS) Reset() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rules = nil
+}
+
+// Ops returns the number of seam operations observed, the coordinate
+// system systematic schedules iterate over ("fail the Nth op").
+func (f *FaultFS) Ops() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// OpCount returns how many operations of one kind have been observed —
+// schedules that target a single syscall site ("fail every Nth write")
+// use it to enumerate the sites a clean run touches.
+func (f *FaultFS) OpCount(op FaultOp) int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.counts[op]
+}
+
+// check consults the schedule for one op. It returns (short, err):
+// err != nil means the op fails; for writes a short > 0 tears the
+// write after that many bytes instead of refusing it outright.
+func (f *FaultFS) check(op FaultOp, name string) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ops++
+	if f.counts == nil {
+		f.counts = make(map[FaultOp]int64)
+	}
+	f.counts[op]++
+	for _, r := range f.rules {
+		if r.Op != "" && r.Op != op {
+			continue
+		}
+		if r.Match != "" && !strings.Contains(name, r.Match) {
+			continue
+		}
+		r.seen++
+		if r.Nth != 0 && r.seen != r.Nth {
+			continue
+		}
+		if r.Times != 0 && r.fired >= r.Times {
+			continue
+		}
+		r.fired++
+		err := r.Err
+		if err == nil {
+			err = ErrInjected
+		}
+		return r.ShortBytes, fmt.Errorf("%s %s: %w", op, name, err)
+	}
+	return 0, nil
+}
+
+func (f *FaultFS) MkdirAll(dir string, perm os.FileMode) error {
+	if _, err := f.check(OpMkdir, dir); err != nil {
+		return err
+	}
+	return f.inner.MkdirAll(dir, perm)
+}
+
+func (f *FaultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if _, err := f.check(OpOpen, name); err != nil {
+		return nil, err
+	}
+	file, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, name: name, inner: file}, nil
+}
+
+func (f *FaultFS) ReadFile(name string) ([]byte, error) {
+	if _, err := f.check(OpReadFile, name); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadFile(name)
+}
+
+func (f *FaultFS) ReadDir(dir string) ([]os.DirEntry, error) {
+	if _, err := f.check(OpReadDir, dir); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadDir(dir)
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if _, err := f.check(OpRename, newpath); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Remove(name string) error {
+	if _, err := f.check(OpRemove, name); err != nil {
+		return err
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *FaultFS) Truncate(name string, size int64) error {
+	if _, err := f.check(OpTruncate, name); err != nil {
+		return err
+	}
+	return f.inner.Truncate(name, size)
+}
+
+func (f *FaultFS) SyncDir(dir string) error {
+	if _, err := f.check(OpSyncDir, dir); err != nil {
+		return err
+	}
+	return f.inner.SyncDir(dir)
+}
+
+// faultFile threads write/sync/close through the schedule. A torn
+// write (ShortBytes) forwards the prefix to the real file before
+// failing, leaving the on-disk state exactly as a half-completed
+// kernel write would.
+type faultFile struct {
+	fs    *FaultFS
+	name  string
+	inner File
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	short, err := f.fs.check(OpWrite, f.name)
+	if err != nil {
+		n := 0
+		if short > 0 {
+			if short > len(p) {
+				short = len(p)
+			}
+			n, _ = f.inner.Write(p[:short])
+		}
+		return n, err
+	}
+	return f.inner.Write(p)
+}
+
+func (f *faultFile) Sync() error {
+	if _, err := f.fs.check(OpSync, f.name); err != nil {
+		return err
+	}
+	return f.inner.Sync()
+}
+
+func (f *faultFile) Close() error {
+	if _, err := f.fs.check(OpClose, f.name); err != nil {
+		_ = f.inner.Close() // the descriptor is really gone either way
+		return err
+	}
+	return f.inner.Close()
+}

@@ -1,0 +1,65 @@
+package persist
+
+import (
+	"os"
+)
+
+// File is the slice of *os.File the store writes through. Every byte
+// that reaches stable storage flows across this interface, so a fault
+// injector standing in for it can fail (or tear) any individual write,
+// sync or close the real filesystem could fail.
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+}
+
+// FS is the store's filesystem seam: every syscall site of the WAL and
+// snapshot paths — open, write, sync, close, rename, remove, truncate,
+// directory listing and directory sync — goes through one of these
+// methods. The default is the real filesystem (osFS); tests install
+// FaultFS to drive systematic disk-fault schedules through the exact
+// code paths production runs.
+type FS interface {
+	MkdirAll(dir string, perm os.FileMode) error
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	ReadFile(name string) ([]byte, error)
+	ReadDir(dir string) ([]os.DirEntry, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	Truncate(name string, size int64) error
+	// SyncDir fsyncs a directory so renames and creates are durable.
+	SyncDir(dir string) error
+}
+
+// osFS is the real filesystem.
+type osFS struct{}
+
+func (osFS) MkdirAll(dir string, perm os.FileMode) error { return os.MkdirAll(dir, perm) }
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) ReadFile(name string) ([]byte, error)      { return os.ReadFile(name) }
+func (osFS) ReadDir(dir string) ([]os.DirEntry, error) { return os.ReadDir(dir) }
+func (osFS) Rename(oldpath, newpath string) error      { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                  { return os.Remove(name) }
+func (osFS) Truncate(name string, size int64) error    { return os.Truncate(name, size) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}

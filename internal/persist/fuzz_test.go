@@ -116,7 +116,7 @@ func FuzzSnapshotHeader(f *testing.F) {
 		if err := os.WriteFile(filepath.Join(dir, snapName(7)), raw, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		payload, _, ok, err := loadSnapshot(dir)
+		payload, _, ok, err := loadSnapshot(osFS{}, dir)
 		if err != nil || !ok {
 			return
 		}

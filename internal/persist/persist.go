@@ -13,6 +13,14 @@
 // *before* the tail is not a torn write and fails recovery loudly
 // rather than silently dropping acknowledged records.
 //
+// Beyond crashes, the store is designed for the disk failing *while it
+// runs*: every syscall site goes through an injectable filesystem seam
+// (Options.FS), a failed append repairs its own torn frame (truncate
+// back to the last acknowledged record) before any later append may
+// proceed — so an error answered to the owner is never followed by a
+// log that silently lost it — and Probe lets the owner re-test a
+// previously failing data directory before leaving degraded mode.
+//
 // On-disk layout, all integers little-endian:
 //
 //	wal-<seq>.log    segment header (magic "CPHW", format version,
@@ -39,6 +47,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 const (
@@ -71,6 +80,11 @@ type Options struct {
 	// daemon's durability target is process crashes (kill -9, deploys),
 	// which the page cache survives; snapshots are always fsynced.
 	Sync bool
+	// FS is the filesystem seam every open/write/sync/rename/close of
+	// the store goes through. Nil means the real filesystem; tests
+	// install a FaultFS to run disk-fault schedules through the
+	// production code paths.
+	FS FS
 }
 
 // Store is a WAL + snapshot directory. All methods are safe for
@@ -79,14 +93,33 @@ type Options struct {
 type Store struct {
 	dir  string
 	opts Options
+	fs   FS
 
 	mu        sync.Mutex
-	seg       *os.File
+	seg       *segWriter
 	segSeq    uint64
 	segSize   int64
 	nextSeq   uint64
 	recovered bool
 	appended  int64
+
+	// A failed append leaves a torn frame at the end of its segment.
+	// Before anything else may be written, that frame must be cut back
+	// off — otherwise a later successful append (in this segment or,
+	// worse, a rotated-to new one) would strand mid-log corruption that
+	// recovery rightly refuses. repairPath/repairSize name the segment
+	// and its last-good length; while set, every Append (and Probe)
+	// retries the repair first and fails if it cannot.
+	repairPath string
+	repairSize int64
+
+	diskErrors atomic.Int64
+}
+
+// segWriter is the open WAL segment.
+type segWriter struct {
+	f    File
+	path string
 }
 
 // Open prepares a store over dir, creating it if needed. No segment is
@@ -100,18 +133,24 @@ func Open(dir string, opts Options) (*Store, error) {
 	if opts.KeepSnapshots <= 0 {
 		opts.KeepSnapshots = 2
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fs := opts.FS
+	if fs == nil {
+		fs = osFS{}
+	}
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("persist: %w", err)
 	}
 	// Sweep snapshot temp files a crash mid-WriteSnapshot left behind:
 	// sequence numbers only advance, so nothing would ever overwrite
 	// or collect them.
-	if tmps, err := filepath.Glob(filepath.Join(dir, "snap-*.snap.tmp")); err == nil {
-		for _, tmp := range tmps {
-			_ = os.Remove(tmp)
+	if entries, err := fs.ReadDir(dir); err == nil {
+		for _, e := range entries {
+			if strings.HasPrefix(e.Name(), "snap-") && strings.HasSuffix(e.Name(), ".snap.tmp") {
+				_ = fs.Remove(filepath.Join(dir, e.Name()))
+			}
 		}
 	}
-	segs, err := listSeqs(dir, "wal-", ".log")
+	segs, err := listSeqs(fs, dir, "wal-", ".log")
 	if err != nil {
 		return nil, err
 	}
@@ -119,7 +158,7 @@ func Open(dir string, opts Options) (*Store, error) {
 	// means "replay from S", so even if segment S itself was lost to a
 	// torn creation, no future segment may reuse a sequence ≤ S — it
 	// would be skipped by replay.
-	snaps, err := listSeqs(dir, "snap-", ".snap")
+	snaps, err := listSeqs(fs, dir, "snap-", ".snap")
 	if err != nil {
 		return nil, err
 	}
@@ -130,7 +169,7 @@ func Open(dir string, opts Options) (*Store, error) {
 	if n := len(snaps); n > 0 && snaps[n-1]+1 > next {
 		next = snaps[n-1] + 1
 	}
-	return &Store{dir: dir, opts: opts, nextSeq: next}, nil
+	return &Store{dir: dir, opts: opts, fs: fs, nextSeq: next}, nil
 }
 
 // Dir returns the store's directory.
@@ -143,8 +182,29 @@ func (s *Store) Appended() int64 {
 	return s.appended
 }
 
+// DiskErrors returns the number of filesystem operations that have
+// failed since Open — real faults and injected ones alike. The serving
+// layer surfaces it in /stats as disk_errors.
+func (s *Store) DiskErrors() int64 { return s.diskErrors.Load() }
+
+// diskErr counts a filesystem failure and passes it through.
+func (s *Store) diskErr(err error) error {
+	if err != nil {
+		s.diskErrors.Add(1)
+	}
+	return err
+}
+
 // Append frames one record onto the WAL, rotating the segment when the
 // current one is full. The payload is owned by the caller.
+//
+// Failure discipline: an append that errors has NOT acknowledged its
+// record, and the store restores the segment to its last-good length
+// (immediately, or — if even the truncate fails — before any later
+// append is allowed through), so the log never carries a half-frame
+// in front of acknowledged records. An error here is therefore safe
+// to answer to the client as a refusal: a retry appends once, and
+// recovery replays exactly the acknowledged prefix.
 func (s *Store) Append(payload []byte) error {
 	if len(payload) == 0 || len(payload) > maxRecordBytes {
 		return fmt.Errorf("persist: record size %d out of range", len(payload))
@@ -154,6 +214,9 @@ func (s *Store) Append(payload []byte) error {
 	if !s.recovered {
 		return fmt.Errorf("persist: Append before Recover")
 	}
+	if err := s.repairLocked(); err != nil {
+		return err
+	}
 	if s.seg == nil || s.segSize >= s.opts.SegmentBytes {
 		if _, err := s.rotateLocked(); err != nil {
 			return err
@@ -162,17 +225,86 @@ func (s *Store) Append(payload []byte) error {
 	var hdr [recHeaderLen]byte
 	putU32(hdr[0:], uint32(len(payload)))
 	putU32(hdr[4:], crc32.ChecksumIEEE(payload))
-	if _, err := s.seg.Write(hdr[:]); err != nil {
-		return fmt.Errorf("persist: append: %w", err)
+	if _, err := s.seg.f.Write(hdr[:]); err != nil {
+		s.tornAppendLocked()
+		return fmt.Errorf("persist: append: %w", s.diskErr(err))
 	}
-	if _, err := s.seg.Write(payload); err != nil {
-		return fmt.Errorf("persist: append: %w", err)
+	if _, err := s.seg.f.Write(payload); err != nil {
+		s.tornAppendLocked()
+		return fmt.Errorf("persist: append: %w", s.diskErr(err))
+	}
+	if s.opts.Sync {
+		if err := s.seg.f.Sync(); err != nil {
+			// The frame is on the page cache but its durability was
+			// refused; treat it like a torn write — un-acknowledged
+			// records must not precede later acknowledged ones.
+			s.tornAppendLocked()
+			return fmt.Errorf("persist: sync: %w", s.diskErr(err))
+		}
 	}
 	s.segSize += int64(recHeaderLen + len(payload))
 	s.appended++
-	if s.opts.Sync {
-		if err := s.seg.Sync(); err != nil {
-			return fmt.Errorf("persist: sync: %w", err)
+	return nil
+}
+
+// tornAppendLocked handles a failed frame write: the segment may now
+// end mid-frame. Close it, remember its last-good size, and try to cut
+// the torn bytes off right away; if that also fails, the pending repair
+// blocks every future append until it succeeds.
+func (s *Store) tornAppendLocked() {
+	path := s.seg.path
+	_ = s.seg.f.Close() // best-effort; the segment is being abandoned
+	s.seg = nil
+	s.repairPath, s.repairSize = path, s.segSize
+	_ = s.repairLocked() // counts its own failure; pending if it failed
+}
+
+// repairLocked undoes a previously torn write: a segment with a
+// half-frame is truncated back to its last-good length, and a
+// header-less stub from a failed rotation (last-good length zero) is
+// removed outright — a zero-byte file would read as a corrupt mid-log
+// segment once later segments exist. Shrinking truncate succeeds even
+// on a full disk, but a read-only or vanished directory can still
+// refuse either op — then the repair stays pending and appends keep
+// failing until a Probe (or a later Append) gets it through.
+func (s *Store) repairLocked() error {
+	if s.repairPath == "" {
+		return nil
+	}
+	if s.repairSize <= 0 {
+		if err := s.fs.Remove(s.repairPath); err != nil {
+			return fmt.Errorf("persist: removing stub segment %s: %w", filepath.Base(s.repairPath), s.diskErr(err))
+		}
+	} else if err := s.fs.Truncate(s.repairPath, s.repairSize); err != nil {
+		return fmt.Errorf("persist: repairing torn append in %s: %w", filepath.Base(s.repairPath), s.diskErr(err))
+	}
+	s.repairPath, s.repairSize = "", 0
+	return nil
+}
+
+// Probe re-tests the store's directory after failures: it first
+// retries any pending torn-append repair, then exercises the full
+// write path — create, write, sync, close, remove — on a scratch file.
+// A nil return means the data directory accepts durable writes again;
+// the owner uses it to leave degraded mode. Safe for concurrent use.
+func (s *Store) Probe() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.repairLocked(); err != nil {
+		return err
+	}
+	name := filepath.Join(s.dir, "probe.tmp")
+	f, err := s.fs.OpenFile(name, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("persist: probe: %w", s.diskErr(err))
+	}
+	_, werr := f.Write([]byte("cophyd-probe"))
+	serr := f.Sync()
+	cerr := f.Close()
+	_ = s.fs.Remove(name)
+	for _, err := range []error{werr, serr, cerr} {
+		if err != nil {
+			return fmt.Errorf("persist: probe: %w", s.diskErr(err))
 		}
 	}
 	return nil
@@ -190,31 +322,45 @@ func (s *Store) Rotate() (uint64, error) {
 	if !s.recovered {
 		return 0, fmt.Errorf("persist: Rotate before Recover")
 	}
+	if err := s.repairLocked(); err != nil {
+		return 0, err
+	}
 	return s.rotateLocked()
 }
 
 func (s *Store) rotateLocked() (uint64, error) {
 	if s.seg != nil {
-		syncClose(s.seg)
+		s.syncClose(s.seg.f)
 		s.seg = nil
 	}
 	seq := s.nextSeq
 	path := filepath.Join(s.dir, segName(seq))
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	f, err := s.fs.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err != nil {
-		return 0, fmt.Errorf("persist: rotate: %w", err)
+		return 0, fmt.Errorf("persist: rotate: %w", s.diskErr(err))
 	}
 	var hdr [segHeaderLen]byte
 	putU32(hdr[0:], walMagic)
 	putU32(hdr[4:], FormatVersion)
 	putU64(hdr[8:], seq)
 	if _, err := f.Write(hdr[:]); err != nil {
-		f.Close()
-		return 0, fmt.Errorf("persist: rotate: %w", err)
+		_ = f.Close()
+		// The sequence number is NOT consumed: skipping it would leave
+		// a gap recovery refuses as lost segments. Instead the stub
+		// file must be gone before the sequence can be reused — remove
+		// it now, or leave a pending repair that blocks every append
+		// until the removal succeeds.
+		if rerr := s.fs.Remove(path); rerr != nil {
+			s.diskErrors.Add(1)
+			s.repairPath, s.repairSize = path, 0
+		}
+		return 0, fmt.Errorf("persist: rotate: %w", s.diskErr(err))
 	}
-	s.seg, s.segSeq, s.segSize = f, seq, segHeaderLen
+	s.seg, s.segSeq, s.segSize = &segWriter{f: f, path: path}, seq, segHeaderLen
 	s.nextSeq = seq + 1
-	syncDir(s.dir)
+	if err := s.fs.SyncDir(s.dir); err != nil {
+		s.diskErrors.Add(1)
+	}
 	return seq, nil
 }
 
@@ -223,7 +369,7 @@ func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.seg != nil {
-		syncClose(s.seg)
+		s.syncClose(s.seg.f)
 		s.seg = nil
 	}
 	return nil
@@ -235,8 +381,8 @@ func snapName(seq uint64) string { return fmt.Sprintf("snap-%016d.snap", seq) }
 
 // listSeqs returns the sorted sequence numbers of files named
 // <prefix><seq><suffix> under dir.
-func listSeqs(dir, prefix, suffix string) ([]uint64, error) {
-	entries, err := os.ReadDir(dir)
+func listSeqs(fs FS, dir, prefix, suffix string) ([]uint64, error) {
+	entries, err := fs.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("persist: %w", err)
 	}
@@ -277,15 +423,19 @@ func getU64(b []byte) uint64 {
 // syncClose fsyncs and closes, best-effort: by the time a segment is
 // closed its records were either acknowledged under Options.Sync or the
 // owner accepted page-cache durability.
-func syncClose(f *os.File) {
-	_ = f.Sync()
-	_ = f.Close()
+func (s *Store) syncClose(f File) {
+	if err := f.Sync(); err != nil {
+		s.diskErrors.Add(1)
+	}
+	if err := f.Close(); err != nil {
+		s.diskErrors.Add(1)
+	}
 }
 
-// syncDir fsyncs a directory so renames and creates are durable.
-func syncDir(dir string) {
-	if d, err := os.Open(dir); err == nil {
-		_ = d.Sync()
-		_ = d.Close()
+// syncDir fsyncs a directory so renames and creates are durable,
+// best-effort at call sites where the state is already safe.
+func (s *Store) syncDir() {
+	if err := s.fs.SyncDir(s.dir); err != nil {
+		s.diskErrors.Add(1)
 	}
 }

@@ -50,7 +50,7 @@ func TestWALRoundTripAcrossRotation(t *testing.T) {
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
-	segs, _ := listSeqs(dir, "wal-", ".log")
+	segs, _ := listSeqs(osFS{}, dir, "wal-", ".log")
 	if len(segs) < 3 {
 		t.Fatalf("rotation never happened: %d segments", len(segs))
 	}
@@ -133,7 +133,7 @@ func TestTornFinalRecordIsCutOff(t *testing.T) {
 		s.Append([]byte("second-record"))
 		s.Close()
 
-		segs, _ := listSeqs(dir, "wal-", ".log")
+		segs, _ := listSeqs(osFS{}, dir, "wal-", ".log")
 		path := filepath.Join(dir, segName(segs[len(segs)-1]))
 		fi, _ := os.Stat(path)
 		// Cut into the final record's frame.
@@ -164,7 +164,7 @@ func TestCorruptChecksumMidLogFails(t *testing.T) {
 	s.Append([]byte("segment-two-record"))
 	s.Close()
 
-	segs, _ := listSeqs(dir, "wal-", ".log")
+	segs, _ := listSeqs(osFS{}, dir, "wal-", ".log")
 	if len(segs) < 2 {
 		t.Fatalf("need ≥2 segments, got %d", len(segs))
 	}
@@ -192,7 +192,7 @@ func TestCorruptChecksumInFinalSegmentStopsReplay(t *testing.T) {
 	s.Append([]byte("poisoned"))
 	s.Close()
 
-	segs, _ := listSeqs(dir, "wal-", ".log")
+	segs, _ := listSeqs(osFS{}, dir, "wal-", ".log")
 	path := filepath.Join(dir, segName(segs[len(segs)-1]))
 	data, _ := os.ReadFile(path)
 	data[len(data)-1] ^= 0xff // corrupt the last record's payload
@@ -313,7 +313,7 @@ func TestCrashInjectionEveryOffset(t *testing.T) {
 		s.Append(rec)
 	}
 	s.Close()
-	segs, _ := listSeqs(dir, "wal-", ".log")
+	segs, _ := listSeqs(osFS{}, dir, "wal-", ".log")
 	src := filepath.Join(dir, segName(segs[0]))
 	whole, _ := os.ReadFile(src)
 
@@ -349,7 +349,7 @@ func TestReopenNeverAppendsToTornSegment(t *testing.T) {
 	s.Append([]byte("old"))
 	s.Append([]byte("gone"))
 	s.Close()
-	segs, _ := listSeqs(dir, "wal-", ".log")
+	segs, _ := listSeqs(osFS{}, dir, "wal-", ".log")
 	path := filepath.Join(dir, segName(segs[0]))
 	fi, _ := os.Stat(path)
 	os.Truncate(path, fi.Size()-3)

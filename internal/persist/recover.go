@@ -3,7 +3,6 @@ package persist
 import (
 	"fmt"
 	"hash/crc32"
-	"os"
 	"path/filepath"
 )
 
@@ -45,7 +44,7 @@ func (s *Store) Recover(snapshot func(payload []byte) error, apply func(record [
 	s.mu.Unlock()
 
 	var info RecoverInfo
-	payload, walSeq, ok, err := loadSnapshot(s.dir)
+	payload, walSeq, ok, err := loadSnapshot(s.fs, s.dir)
 	if err != nil {
 		return info, err
 	}
@@ -60,7 +59,7 @@ func (s *Store) Recover(snapshot func(payload []byte) error, apply func(record [
 		}
 	}
 
-	segs, err := listSeqs(s.dir, "wal-", ".log")
+	segs, err := listSeqs(s.fs, s.dir, "wal-", ".log")
 	if err != nil {
 		return info, err
 	}
@@ -95,7 +94,7 @@ func (s *Store) Recover(snapshot func(payload []byte) error, apply func(record [
 func (s *Store) replaySegment(seq uint64, final bool, apply func([]byte) error) (records int, truncated int64, err error) {
 	name := segName(seq)
 	path := filepath.Join(s.dir, name)
-	data, err := os.ReadFile(path)
+	data, err := s.fs.ReadFile(path)
 	if err != nil {
 		return 0, 0, fmt.Errorf("persist: %w", err)
 	}
@@ -104,11 +103,11 @@ func (s *Store) replaySegment(seq uint64, final bool, apply func([]byte) error) 
 			return records, 0, fmt.Errorf("persist: segment %s corrupt at offset %d with later segments present — acknowledged records would be lost; refusing to recover", name, at)
 		}
 		if at < segHeaderLen {
-			_ = os.Remove(path)
-		} else if err := os.Truncate(path, int64(at)); err != nil {
-			return records, 0, fmt.Errorf("persist: repairing torn segment %s: %w", name, err)
+			_ = s.fs.Remove(path)
+		} else if err := s.fs.Truncate(path, int64(at)); err != nil {
+			return records, 0, fmt.Errorf("persist: repairing torn segment %s: %w", name, s.diskErr(err))
 		}
-		syncDir(s.dir)
+		s.syncDir()
 		return records, int64(len(data) - at), nil
 	}
 	if len(data) < segHeaderLen {

@@ -28,7 +28,10 @@ type SnapshotInfo struct {
 // additive, may export outside the rotation critical section).
 //
 // The snapshot is written to a temp file, fsynced and renamed into
-// place; a crash mid-write leaves the previous snapshot authoritative.
+// place; a crash — or an injected write/sync/rename failure — at any
+// point before the rename commits leaves the previous snapshot
+// authoritative and the full WAL tail in place, so a failed snapshot
+// never costs acknowledged state.
 func (s *Store) WriteSnapshot(walSeq uint64, payload []byte) (SnapshotInfo, error) {
 	if len(payload) == 0 || len(payload) > maxRecordBytes {
 		return SnapshotInfo{}, fmt.Errorf("persist: snapshot size %d out of range", len(payload))
@@ -48,11 +51,11 @@ func (s *Store) WriteSnapshot(walSeq uint64, payload []byte) (SnapshotInfo, erro
 
 	final := filepath.Join(s.dir, snapName(walSeq))
 	tmp := final + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	f, err := s.fs.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
-		return SnapshotInfo{}, fmt.Errorf("persist: snapshot: %w", err)
+		return SnapshotInfo{}, fmt.Errorf("persist: snapshot: %w", s.diskErr(err))
 	}
-	if _, err := f.Write(hdr[:]); err == nil {
+	if _, err = f.Write(hdr[:]); err == nil {
 		_, err = f.Write(payload)
 	}
 	if err == nil {
@@ -62,14 +65,14 @@ func (s *Store) WriteSnapshot(walSeq uint64, payload []byte) (SnapshotInfo, erro
 		err = cerr
 	}
 	if err != nil {
-		os.Remove(tmp)
-		return SnapshotInfo{}, fmt.Errorf("persist: snapshot: %w", err)
+		_ = s.fs.Remove(tmp)
+		return SnapshotInfo{}, fmt.Errorf("persist: snapshot: %w", s.diskErr(err))
 	}
-	if err := os.Rename(tmp, final); err != nil {
-		os.Remove(tmp)
-		return SnapshotInfo{}, fmt.Errorf("persist: snapshot: %w", err)
+	if err := s.fs.Rename(tmp, final); err != nil {
+		_ = s.fs.Remove(tmp)
+		return SnapshotInfo{}, fmt.Errorf("persist: snapshot: %w", s.diskErr(err))
 	}
-	syncDir(s.dir)
+	s.syncDir()
 
 	pruned, err := s.pruneLocked(walSeq)
 	if err != nil {
@@ -81,26 +84,26 @@ func (s *Store) WriteSnapshot(walSeq uint64, payload []byte) (SnapshotInfo, erro
 // pruneLocked removes WAL segments the snapshot at walSeq covers and
 // snapshot files beyond the retention count.
 func (s *Store) pruneLocked(walSeq uint64) (int, error) {
-	segs, err := listSeqs(s.dir, "wal-", ".log")
+	segs, err := listSeqs(s.fs, s.dir, "wal-", ".log")
 	if err != nil {
 		return 0, err
 	}
 	pruned := 0
 	for _, seq := range segs {
 		if seq < walSeq {
-			if err := os.Remove(filepath.Join(s.dir, segName(seq))); err == nil {
+			if err := s.fs.Remove(filepath.Join(s.dir, segName(seq))); err == nil {
 				pruned++
 			}
 		}
 	}
-	snaps, err := listSeqs(s.dir, "snap-", ".snap")
+	snaps, err := listSeqs(s.fs, s.dir, "snap-", ".snap")
 	if err != nil {
 		return pruned, err
 	}
 	for i := 0; i < len(snaps)-s.opts.KeepSnapshots; i++ {
-		os.Remove(filepath.Join(s.dir, snapName(snaps[i])))
+		_ = s.fs.Remove(filepath.Join(s.dir, snapName(snaps[i])))
 	}
-	syncDir(s.dir)
+	s.syncDir()
 	return pruned, nil
 }
 
@@ -109,8 +112,8 @@ func (s *Store) pruneLocked(walSeq uint64) (int, error) {
 // or a corrupt snapshot is an error: the snapshot is the recovery
 // baseline, and a wrong baseline silently replayed over is worse than a
 // refusal the operator can act on.
-func loadSnapshot(dir string) (payload []byte, walSeq uint64, ok bool, err error) {
-	snaps, err := listSeqs(dir, "snap-", ".snap")
+func loadSnapshot(fs FS, dir string) (payload []byte, walSeq uint64, ok bool, err error) {
+	snaps, err := listSeqs(fs, dir, "snap-", ".snap")
 	if err != nil {
 		return nil, 0, false, err
 	}
@@ -118,7 +121,7 @@ func loadSnapshot(dir string) (payload []byte, walSeq uint64, ok bool, err error
 		return nil, 0, false, nil
 	}
 	name := snapName(snaps[len(snaps)-1])
-	data, err := os.ReadFile(filepath.Join(dir, name))
+	data, err := fs.ReadFile(filepath.Join(dir, name))
 	if err != nil {
 		return nil, 0, false, fmt.Errorf("persist: %w", err)
 	}

@@ -1,0 +1,124 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrOverloaded is returned (wrapped) by Recommend when the admission
+// queue sheds the request — the queue is full, or the request waited
+// out its queue timeout without reaching the session. The HTTP layer
+// maps it to 429 with a Retry-After computed from the observed solve
+// latency.
+var ErrOverloaded = errors.New("server overloaded")
+
+// admission is the bounded queue in front of the session slot. The
+// previous design was a bare capacity-1 semaphore: under a burst every
+// caller parked on it until its own deadline fired, so overload
+// surfaced as N slow 503s instead of N−1 fast 429s. Now at most
+// maxQueue callers may wait; the rest are shed immediately, and a
+// waiter that outlives the queue timeout is shed too — the server
+// promises a bounded wait or a fast no, never a slow maybe.
+type admission struct {
+	tickets chan struct{} // queue slots: holders are waiting for the session
+	timeout time.Duration
+
+	// ewmaNs tracks observed solve latency (exponentially weighted,
+	// α=0.3) — the basis for Retry-After: a shed caller is told to come
+	// back after roughly the time the queue ahead of it needs to drain.
+	mu     sync.Mutex
+	ewmaNs float64
+
+	depth atomic.Int64 // callers currently queued
+	peak  atomic.Int64 // high-water mark of depth
+	shed  atomic.Int64 // requests refused with ErrOverloaded
+}
+
+func newAdmission(maxQueue int, timeout time.Duration) *admission {
+	if maxQueue <= 0 {
+		maxQueue = 16
+	}
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	return &admission{
+		tickets: make(chan struct{}, maxQueue),
+		timeout: timeout,
+	}
+}
+
+// admit queues the caller for the session slot. On success it returns
+// a release function the caller must invoke when done with the
+// session. Failure modes: a full queue or an expired queue timeout
+// shed with ErrOverloaded; a dead caller context returns its error.
+func (a *admission) admit(ctx context.Context, sem chan struct{}) (func(), error) {
+	select {
+	case a.tickets <- struct{}{}:
+	default:
+		a.shed.Add(1)
+		return nil, fmt.Errorf("%w: admission queue full (%d waiting)", ErrOverloaded, cap(a.tickets))
+	}
+	d := a.depth.Add(1)
+	for {
+		p := a.peak.Load()
+		if d <= p || a.peak.CompareAndSwap(p, d) {
+			break
+		}
+	}
+	leave := func() {
+		a.depth.Add(-1)
+		<-a.tickets
+	}
+	timer := time.NewTimer(a.timeout)
+	defer timer.Stop()
+	select {
+	case sem <- struct{}{}:
+		leave() // queued → in service: the queue slot frees for the next caller
+		return func() { <-sem }, nil
+	case <-timer.C:
+		leave()
+		a.shed.Add(1)
+		return nil, fmt.Errorf("%w: queued longer than %s", ErrOverloaded, a.timeout)
+	case <-ctx.Done():
+		leave()
+		return nil, ctx.Err()
+	}
+}
+
+// observe folds one completed solve's wall time into the latency EWMA.
+func (a *admission) observe(d time.Duration) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.ewmaNs == 0 {
+		a.ewmaNs = float64(d)
+		return
+	}
+	a.ewmaNs = 0.7*a.ewmaNs + 0.3*float64(d)
+}
+
+// retryAfter estimates, in whole seconds (≥1), how long a shed caller
+// should wait: the queue ahead of it times the smoothed solve latency.
+// With no solve observed yet it answers 1 — optimistic, but the only
+// honest number before data exists.
+func (a *admission) retryAfter() int {
+	a.mu.Lock()
+	ewma := a.ewmaNs
+	a.mu.Unlock()
+	if ewma == 0 {
+		return 1
+	}
+	backlog := float64(a.depth.Load() + 1) // queued callers plus the one in service
+	sec := math.Ceil(ewma * backlog / float64(time.Second))
+	if sec < 1 {
+		sec = 1
+	}
+	if sec > 60 {
+		sec = 60
+	}
+	return int(sec)
+}

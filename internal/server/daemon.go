@@ -56,6 +56,19 @@ type Config struct {
 	// solve over (the session's existing candidates plus the request's
 	// new ones). Zero means uncapped. Exceeding it answers 413.
 	MaxCandidates int
+	// MaxQueue bounds how many /recommend requests may wait for the
+	// session at once; arrivals beyond it are shed immediately with 429
+	// and a Retry-After derived from observed solve latency. Zero means
+	// 16.
+	MaxQueue int
+	// QueueTimeout bounds how long an admitted request may wait in the
+	// queue before it too is shed with 429. Zero means 2s.
+	QueueTimeout time.Duration
+	// ProbeBase / ProbeMax bound the exponential backoff of the
+	// degraded-mode re-probe loop (how quickly a daemon whose data
+	// directory failed retries it). Zero means 500ms / 15s. Exposed
+	// mainly so tests can run the state machine at full speed.
+	ProbeBase, ProbeMax time.Duration
 	// Store, when non-nil, is the durability layer: accepted ingest
 	// batches and session changes are logged to its WAL, snapshots
 	// capture full state, and New recovers from it before serving —
@@ -73,10 +86,12 @@ type Config struct {
 // Daemon is the service core. All exported methods are safe for
 // concurrent use: WhatIf runs lock-free over the sharded INUM cache,
 // Ingest serializes only on the stream's own mutex, and Recommend
-// serializes recommendations on the session semaphore — a channel
-// rather than a mutex, so a caller whose context dies while another
-// recommendation runs gives up immediately instead of queueing on the
-// lock.
+// serializes recommendations on the session semaphore behind a bounded
+// admission queue — concurrent identical requests coalesce onto one
+// solve, excess load is shed with ErrOverloaded instead of queueing
+// without bound, and a caller whose context dies gives up immediately
+// wherever it is waiting. Durability failures flip the daemon into a
+// degraded read-only state (see health.go) instead of killing it.
 type Daemon struct {
 	cat           *catalog.Catalog
 	eng           *engine.Engine
@@ -90,10 +105,27 @@ type Daemon struct {
 
 	// sem (capacity 1) guards the session; lastBudget (the budget knob
 	// of the most recent recommendation, persisted with the session
-	// state) is only touched under it.
+	// state) is only touched under it. adm is the bounded admission
+	// queue in front of it.
 	sem        chan struct{}
+	adm        *admission
 	session    *cophy.Session
 	lastBudget float64
+
+	// flights coalesces concurrent identical recommendations: one entry
+	// per (stream generation, budget) currently being solved; followers
+	// wait on the leader's result instead of queueing their own solve.
+	flMu    sync.Mutex
+	flights map[string]*flight
+
+	// health is the serving state machine (healthy/degraded/draining);
+	// degradedCause names the durability failure that forced read-only
+	// mode; probeBase/probeMax bound the recovery probe backoff.
+	health          atomic.Int32
+	degradedCause   atomic.Value // string
+	degradedEntries atomic.Int64
+	probeBase       time.Duration
+	probeMax        time.Duration
 
 	// store is the durability layer (nil = memory-only). pMu orders
 	// additive WAL records against the snapshot cut: Ingest holds it
@@ -115,6 +147,7 @@ type Daemon struct {
 	wiOrder []string
 
 	ingested       atomic.Int64
+	coalesced      atomic.Int64
 	numFallbacks   atomic.Int64
 	warmDowngrades atomic.Int64
 	whatifs        atomic.Int64
@@ -157,6 +190,19 @@ func New(cfg Config) (*Daemon, error) {
 		maxCandidates: cfg.MaxCandidates,
 		authToken:     cfg.AuthToken,
 		sem:           make(chan struct{}, 1),
+		adm:           newAdmission(cfg.MaxQueue, cfg.QueueTimeout),
+		flights:       make(map[string]*flight),
+		probeBase:     cfg.ProbeBase,
+		probeMax:      cfg.ProbeMax,
+	}
+	if d.probeBase <= 0 {
+		d.probeBase = 500 * time.Millisecond
+	}
+	if d.probeMax < d.probeBase {
+		d.probeMax = 15 * time.Second
+		if d.probeMax < d.probeBase {
+			d.probeMax = d.probeBase
+		}
 	}
 	// Memory bound, first slice: when decay evicts a statement from the
 	// live workload, its INUM cache entries (query and update shell) go
@@ -192,8 +238,14 @@ type IngestResult struct {
 // Each batch advances the decay clock by one tick. With a store
 // configured, every accepted batch is logged to the WAL before the
 // call returns, so a restart replays it deterministically — same
-// statements, same IDs, same decay and evictions.
+// statements, same IDs, same decay and evictions. While the daemon is
+// degraded (durable writes failing) the batch is refused outright:
+// accepting state that cannot be logged would silently break the
+// restart contract.
 func (d *Daemon) Ingest(sql string, weightScale float64) (IngestResult, error) {
+	if err := d.checkWritable(); err != nil {
+		return IngestResult{}, err
+	}
 	return d.applyIngest(sql, weightScale, d.store != nil)
 }
 
@@ -363,29 +415,93 @@ type RecommendResult struct {
 // multipliers matched to surviving statements by block label — so a
 // re-solve after a small ingestion delta is incremental.
 //
-// The context bounds the whole request: a caller whose deadline
-// expires while another recommendation holds the session gives up
-// without ever taking the semaphore, and an acquired solve inherits
-// the remaining time as its TimeLimit (both map to 503 at the HTTP
-// layer). A candidate set beyond the configured cap is rejected before
-// any solver work (413).
+// Overload discipline: concurrent calls against an unchanged stream
+// and identical budget coalesce — one of them solves, the rest wait on
+// that result (a burst of K identical requests performs one solve, not
+// K). Requests that do need their own solve pass through the bounded
+// admission queue; a full queue or an expired queue wait sheds the
+// request with ErrOverloaded (429 + Retry-After at the HTTP layer). A
+// caller whose own deadline expires gives up wherever it is waiting
+// (503). A candidate set beyond the configured cap is rejected before
+// any solver work (413). While the daemon is degraded the request is
+// refused outright (503 naming the cause): a recommendation mutates
+// session state whose durability cannot currently be maintained.
 func (d *Daemon) Recommend(ctx context.Context, opts RecommendOptions) (RecommendResult, error) {
+	for {
+		if err := d.checkWritable(); err != nil {
+			return RecommendResult{}, err
+		}
+		res, err, retry := d.coalesce(ctx, opts)
+		if retry {
+			continue
+		}
+		return res, err
+	}
+}
+
+// flight is one in-progress recommendation shared by coalesced callers.
+type flight struct {
+	done chan struct{}
+	res  RecommendResult
+	err  error
+}
+
+// coalesce shares one solve among concurrent identical requests. The
+// key is (stream generation, budget): any ingest between two requests
+// changes the generation, so only requests that would provably compute
+// the same answer share. The third return asks the caller to retry:
+// the leader died of its *own* context while this follower is still
+// alive, so the follower deserves a fresh flight rather than
+// inheriting a timeout it never had.
+func (d *Daemon) coalesce(ctx context.Context, opts RecommendOptions) (RecommendResult, error, bool) {
+	key := fmt.Sprintf("%d|%v", d.stream.Generation(), opts.BudgetFraction)
+	d.flMu.Lock()
+	if f, ok := d.flights[key]; ok {
+		d.flMu.Unlock()
+		d.coalesced.Add(1)
+		select {
+		case <-f.done:
+			if f.err != nil && (errors.Is(f.err, context.Canceled) || errors.Is(f.err, context.DeadlineExceeded)) && ctx.Err() == nil {
+				return RecommendResult{}, f.err, true
+			}
+			return f.res, f.err, false
+		case <-ctx.Done():
+			return RecommendResult{}, ctx.Err(), false
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	d.flights[key] = f
+	d.flMu.Unlock()
+	f.res, f.err = d.solveRecommend(ctx, opts)
+	d.flMu.Lock()
+	delete(d.flights, key)
+	d.flMu.Unlock()
+	close(f.done)
+	return f.res, f.err, false
+}
+
+// solveRecommend is the flight leader's path: admission queue, session
+// slot, solve.
+func (d *Daemon) solveRecommend(ctx context.Context, opts RecommendOptions) (RecommendResult, error) {
 	w := d.stream.Snapshot()
 	if w.Size() == 0 {
 		return RecommendResult{}, fmt.Errorf("server: no workload ingested yet")
 	}
-	cons := d.consFor(opts.BudgetFraction)
-	cands := cophy.Candidates(d.cat, w, d.cgen)
-
 	if err := ctx.Err(); err != nil {
 		return RecommendResult{}, err
 	}
-	select {
-	case d.sem <- struct{}{}:
-		defer func() { <-d.sem }()
-	case <-ctx.Done():
-		return RecommendResult{}, ctx.Err()
+	release, err := d.adm.admit(ctx, d.sem)
+	if err != nil {
+		return RecommendResult{}, err
 	}
+	defer release()
+	t0 := time.Now()
+
+	// Candidate generation runs inside the session slot, after
+	// admission: a request the queue sheds costs nothing but the
+	// snapshot above.
+	cons := d.consFor(opts.BudgetFraction)
+	cands := cophy.Candidates(d.cat, w, d.cgen)
 
 	// The session's candidate positions are append-only (they anchor
 	// the solver's z variables), so dead candidates — ones no live
@@ -465,6 +581,10 @@ func (d *Daemon) Recommend(ctx context.Context, opts RecommendOptions) (Recommen
 	if err != nil {
 		return RecommendResult{}, err
 	}
+	// Feed the admission layer's latency estimate (the basis of
+	// Retry-After) with the full in-slot wall time: candidate
+	// generation plus solve, the cost the next queued caller will pay.
+	d.adm.observe(time.Since(t0))
 	d.recommends.Add(1)
 	d.numFallbacks.Add(int64(res.NumericFallbacks))
 	d.warmDowngrades.Add(int64(res.WarmDowngrades))
@@ -504,6 +624,11 @@ func (d *Daemon) Recommend(ctx context.Context, opts RecommendOptions) (Recommen
 
 // Stats is the daemon's observability snapshot.
 type Stats struct {
+	// Health is the serving state ("healthy", "degraded", "draining");
+	// DegradedCause names the durability failure while degraded.
+	Health        string `json:"health"`
+	DegradedCause string `json:"degraded_cause,omitempty"`
+
 	Live       int     `json:"live_statements"`
 	LiveWeight float64 `json:"live_weight"`
 	Observed   int64   `json:"observed_statements"`
@@ -511,6 +636,19 @@ type Stats struct {
 	Ingested   int64   `json:"ingested"`
 	WhatIfs    int64   `json:"whatifs"`
 	Recommends int64   `json:"recommends"`
+	// QueueDepth / QueuedPeak / ShedRequests / CoalescedRequests expose
+	// the admission layer: how many recommendations are waiting right
+	// now, the worst it has been, how many were refused with 429, and
+	// how many shared another request's solve instead of their own.
+	QueueDepth        int64 `json:"queue_depth"`
+	QueuedPeak        int64 `json:"queued_peak"`
+	ShedRequests      int64 `json:"shed_requests"`
+	CoalescedRequests int64 `json:"coalesced_requests"`
+	// DegradedEntries counts healthy→degraded transitions over the
+	// daemon's lifetime; DiskErrors counts failed filesystem operations
+	// observed by the store.
+	DegradedEntries int64 `json:"degraded_entries"`
+	DiskErrors      int64 `json:"disk_errors"`
 	// PreparedQueries and PrepCalls expose the INUM cache state;
 	// EvictedEntries counts cache entries dropped by stream eviction.
 	PreparedQueries int   `json:"prepared_queries"`
@@ -543,7 +681,15 @@ type Stats struct {
 // Snapshot returns current counters.
 func (d *Daemon) Snapshot() Stats {
 	calls, _ := d.ad.Inum.PrepStats()
+	health, cause := d.Health()
 	st := Stats{
+		Health:             health,
+		DegradedCause:      cause,
+		QueueDepth:         d.adm.depth.Load(),
+		QueuedPeak:         d.adm.peak.Load(),
+		ShedRequests:       d.adm.shed.Load(),
+		CoalescedRequests:  d.coalesced.Load(),
+		DegradedEntries:    d.degradedEntries.Load(),
 		Live:               d.stream.Len(),
 		LiveWeight:         d.stream.LiveWeight(),
 		Observed:           d.stream.Observed(),
@@ -565,6 +711,7 @@ func (d *Daemon) Snapshot() Stats {
 	if d.store != nil {
 		rec := d.recovery
 		st.Recovery = &rec
+		st.DiskErrors = d.store.DiskErrors()
 	}
 	return st
 }

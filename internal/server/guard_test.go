@@ -109,8 +109,8 @@ func TestStreamEvictHookUnit(t *testing.T) {
 	}
 }
 
-// postErr posts and returns the status code plus the decoded JSON
-// error body (the shared post helper closes the body on non-200).
+// postErr posts and returns the status code plus the decoded unified
+// JSON error body (the shared post helper closes the body on non-200).
 func postErr(t *testing.T, srv *httptest.Server, path string, body any) (int, map[string]string) {
 	t.Helper()
 	raw, err := json.Marshal(body)
@@ -122,11 +122,14 @@ func postErr(t *testing.T, srv *httptest.Server, path string, body any) (int, ma
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var decoded map[string]string
+	var decoded errorBody
 	if err := json.NewDecoder(resp.Body).Decode(&decoded); err != nil {
 		t.Fatalf("%s: error body not JSON: %v", path, err)
 	}
-	return resp.StatusCode, decoded
+	if decoded.Status != resp.StatusCode {
+		t.Fatalf("%s: body status %d != HTTP status %d", path, decoded.Status, resp.StatusCode)
+	}
+	return resp.StatusCode, map[string]string{"error": decoded.Error}
 }
 
 // TestRecommendTooManyCandidates: a candidate set beyond the cap is

@@ -7,6 +7,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
+	"time"
 
 	"repro/internal/catalog"
 )
@@ -74,7 +76,7 @@ func (d *Daemon) Handler() http.Handler {
 			return
 		}
 		res, err := d.Ingest(req.SQL, req.WeightScale)
-		reply(w, res, err)
+		d.reply(w, res, err)
 	}))
 	mux.HandleFunc("POST /whatif", func(w http.ResponseWriter, r *http.Request) {
 		var req whatIfRequest
@@ -86,7 +88,7 @@ func (d *Daemon) Handler() http.Handler {
 			indexes[i] = sp.Index()
 		}
 		res, err := d.WhatIf(req.SQL, indexes)
-		reply(w, res, err)
+		d.reply(w, res, err)
 	})
 	mux.HandleFunc("POST /recommend", d.guard(func(w http.ResponseWriter, r *http.Request) {
 		var req RecommendOptions
@@ -103,20 +105,35 @@ func (d *Daemon) Handler() http.Handler {
 			defer cancel()
 		}
 		res, err := d.Recommend(ctx, req)
-		reply(w, res, err)
+		d.reply(w, res, err)
 	}))
 	mux.HandleFunc("POST /snapshot", d.guard(func(w http.ResponseWriter, r *http.Request) {
 		// Admin: force a durable snapshot now (before a deploy, after a
 		// bulk load) instead of waiting for the periodic one.
 		res, err := d.WriteSnapshot(r.Context())
-		reply(w, res, err)
+		d.reply(w, res, err)
 	}))
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
-		reply(w, d.Snapshot(), nil)
+		d.reply(w, d.Snapshot(), nil)
 	})
+	// /healthz speaks the serving state machine: 200 {"status":
+	// "healthy"} when fully serving; 503 with "degraded" (plus the
+	// cause) while the data directory is failing and mutations are
+	// refused; 503 with "draining" during shutdown so load balancers
+	// stop routing here before the listener closes.
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		fmt.Fprintln(w, "ok")
+		state, cause := d.Health()
+		code := http.StatusOK
+		if state != "healthy" {
+			code = http.StatusServiceUnavailable
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		enc := json.NewEncoder(w)
+		_ = enc.Encode(struct {
+			Status string `json:"status"`
+			Cause  string `json:"cause,omitempty"`
+		}{Status: state, Cause: cause})
 	})
 	return mux
 }
@@ -134,7 +151,7 @@ func (d *Daemon) guard(h http.HandlerFunc) http.HandlerFunc {
 		got := []byte(r.Header.Get("Authorization"))
 		if subtle.ConstantTimeCompare(got, want) != 1 {
 			w.Header().Set("WWW-Authenticate", `Bearer realm="cophyd"`)
-			writeError(w, http.StatusUnauthorized, errors.New("missing or invalid bearer token"))
+			writeError(w, http.StatusUnauthorized, errors.New("missing or invalid bearer token"), 0)
 			return
 		}
 		h(w, r)
@@ -146,30 +163,37 @@ func decode(w http.ResponseWriter, r *http.Request, into any) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(into); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err), 0)
 		return false
 	}
 	return true
 }
 
-// reply writes a JSON response. Errors map by kind: a dead request
-// context (deadline or client cancellation) is 503 — the service is
-// fine, this request ran out of time; an over-cap candidate set is
-// 413; a durability-layer write failure is 500 (the request was fine,
-// the disk was not); everything else is 422 (the request was
-// well-formed but not servable: parse errors, unknown tables, empty
-// workload).
-func reply(w http.ResponseWriter, res any, err error) {
+// reply writes a JSON response. Errors map by kind: a shed request
+// (queue full or queue timeout) is 429 with a Retry-After computed
+// from observed solve latency; a degraded daemon refusing a mutation
+// is 503 with the cause and a Retry-After matched to its re-probe
+// cadence; a dead request context (deadline or client cancellation)
+// is 503 with Retry-After — the service is fine, this request ran out
+// of time; an over-cap candidate set is 413; a durability-layer write
+// failure is 500 (the request was fine, the disk was not); everything
+// else is 422 (the request was well-formed but not servable: parse
+// errors, unknown tables, empty workload).
+func (d *Daemon) reply(w http.ResponseWriter, res any, err error) {
 	if err != nil {
 		switch {
+		case errors.Is(err, ErrOverloaded):
+			writeError(w, http.StatusTooManyRequests, err, d.adm.retryAfter())
+		case errors.Is(err, ErrDegraded):
+			writeError(w, http.StatusServiceUnavailable, err, d.degradedRetryAfter())
 		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
-			writeError(w, http.StatusServiceUnavailable, err)
+			writeError(w, http.StatusServiceUnavailable, err, d.adm.retryAfter())
 		case errors.Is(err, ErrTooManyCandidates):
-			writeError(w, http.StatusRequestEntityTooLarge, err)
+			writeError(w, http.StatusRequestEntityTooLarge, err, 0)
 		case errors.Is(err, ErrPersist):
-			writeError(w, http.StatusInternalServerError, err)
+			writeError(w, http.StatusInternalServerError, err, 0)
 		default:
-			writeError(w, http.StatusUnprocessableEntity, err)
+			writeError(w, http.StatusUnprocessableEntity, err, 0)
 		}
 		return
 	}
@@ -180,8 +204,32 @@ func reply(w http.ResponseWriter, res any, err error) {
 	_ = enc.Encode(res)
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
+// degradedRetryAfter suggests when a caller refused by degraded mode
+// should retry: one probe interval, floor one second.
+func (d *Daemon) degradedRetryAfter() int {
+	sec := int(d.probeBase / time.Second)
+	if sec < 1 {
+		sec = 1
+	}
+	return sec
+}
+
+// errorBody is the single error shape every status speaks — 400, 401,
+// 413, 422, 429, 500 and 503 all answer {"error": ..., "status": ...}
+// with retry_after_seconds present exactly when a Retry-After header
+// accompanies it, so clients parse one shape and machines can branch
+// on status without reading prose.
+type errorBody struct {
+	Error      string `json:"error"`
+	Status     int    `json:"status"`
+	RetryAfter int    `json:"retry_after_seconds,omitempty"`
+}
+
+func writeError(w http.ResponseWriter, status int, err error, retryAfter int) {
 	w.Header().Set("Content-Type", "application/json")
+	if retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+	}
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+	json.NewEncoder(w).Encode(errorBody{Error: err.Error(), Status: status, RetryAfter: retryAfter})
 }

@@ -1,0 +1,398 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cophy"
+	"repro/internal/engine"
+	"repro/internal/persist"
+	"repro/internal/tpch"
+	"repro/internal/workload"
+)
+
+// faultDaemon builds a daemon over a FaultFS-backed store so tests can
+// fail the data directory out from under it, with a fast probe loop.
+func faultDaemon(t *testing.T, mutate func(*Config)) (*Daemon, *persist.FaultFS) {
+	t.Helper()
+	ffs := persist.NewFaultFS(nil)
+	store, err := persist.Open(t.TempDir(), persist.Options{FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := tpch.Build(tpch.Config{ScaleFactor: 0.05})
+	cfg := Config{
+		Catalog:   cat,
+		Engine:    engine.New(cat, engine.SystemA()),
+		Advisor:   cophy.Options{GapTol: 0.02, RootIters: 160, MaxNodes: 16},
+		Store:     store,
+		ProbeBase: 5 * time.Millisecond,
+		ProbeMax:  50 * time.Millisecond,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	return d, ffs
+}
+
+// waitFor polls until cond holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestCoalescedFollowersShareOneResult is the deterministic coalescing
+// pin: followers that arrive while an identical request is in flight
+// wait on its result instead of solving — zero extra solver runs, one
+// shared answer, the coalesced counter telling the story.
+func TestCoalescedFollowersShareOneResult(t *testing.T) {
+	d := testDaemon(t)
+	const K = 5
+	key := fmt.Sprintf("%d|%v", d.stream.Generation(), 0.25)
+	f := &flight{done: make(chan struct{})}
+	d.flMu.Lock()
+	d.flights[key] = f
+	d.flMu.Unlock()
+
+	solves0 := d.ad.Solves()
+	var wg sync.WaitGroup
+	results := make([]RecommendResult, K)
+	errs := make([]error, K)
+	for i := 0; i < K; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = d.Recommend(context.Background(), RecommendOptions{BudgetFraction: 0.25})
+		}(i)
+	}
+	waitFor(t, "all followers to coalesce", func() bool { return d.coalesced.Load() == K })
+
+	f.res = RecommendResult{EstCost: 42, Warm: true}
+	d.flMu.Lock()
+	delete(d.flights, key)
+	d.flMu.Unlock()
+	close(f.done)
+	wg.Wait()
+
+	for i := 0; i < K; i++ {
+		if errs[i] != nil {
+			t.Fatalf("follower %d: %v", i, errs[i])
+		}
+		if results[i].EstCost != 42 {
+			t.Fatalf("follower %d got %+v, want the shared flight result", i, results[i])
+		}
+	}
+	if got := d.ad.Solves() - solves0; got != 0 {
+		t.Fatalf("followers ran %d solves of their own", got)
+	}
+	if st := d.Snapshot(); st.CoalescedRequests != K {
+		t.Fatalf("coalesced_requests = %d, want %d", st.CoalescedRequests, K)
+	}
+}
+
+// TestCoalesceLeaderTimeoutRetries: a follower must not inherit the
+// leader's *own* deadline death — it retries with a fresh flight.
+func TestCoalesceLeaderTimeoutRetries(t *testing.T) {
+	d := testDaemon(t)
+	key := fmt.Sprintf("%d|%v", d.stream.Generation(), 0.0)
+	f := &flight{done: make(chan struct{})}
+	d.flMu.Lock()
+	d.flights[key] = f
+	d.flMu.Unlock()
+
+	var ferr error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, ferr = d.Recommend(context.Background(), RecommendOptions{})
+	}()
+	waitFor(t, "follower to coalesce", func() bool { return d.coalesced.Load() == 1 })
+
+	f.err = context.DeadlineExceeded // the leader ran out of ITS time
+	d.flMu.Lock()
+	delete(d.flights, key)
+	d.flMu.Unlock()
+	close(f.done)
+	<-done
+
+	// The retry became its own leader over the empty daemon, so the
+	// error it reports is its own ("no workload"), not the leader's
+	// timeout.
+	if ferr == nil || errors.Is(ferr, context.DeadlineExceeded) {
+		t.Fatalf("follower inherited the leader's deadline death: %v", ferr)
+	}
+	if !strings.Contains(ferr.Error(), "no workload") {
+		t.Fatalf("retry did not run its own flight: %v", ferr)
+	}
+}
+
+// TestQueueShedsWhenFull: with the session busy and the queue at
+// capacity, the next arrival is shed immediately with ErrOverloaded —
+// not parked until its deadline.
+func TestQueueShedsWhenFull(t *testing.T) {
+	d := testDaemon(t)
+	post1 := httptest.NewServer(d.Handler())
+	defer post1.Close()
+	gen := workload.Hom(workload.HomConfig{Queries: 8, Seed: 3})
+	post(t, post1, "/ingest", ingestRequest{SQL: renderSQL(gen)}, nil)
+
+	d.adm = newAdmission(1, time.Minute) // queue of one, patient waiters
+	d.sem <- struct{}{}                  // the session is busy elsewhere
+	defer func() { <-d.sem }()
+
+	// Occupy the single queue slot (distinct budget → no coalescing).
+	waiterCtx, cancelWaiter := context.WithCancel(context.Background())
+	defer cancelWaiter()
+	waiting := make(chan error, 1)
+	go func() {
+		_, err := d.Recommend(waiterCtx, RecommendOptions{BudgetFraction: 0.3})
+		waiting <- err
+	}()
+	waitFor(t, "first caller to queue", func() bool { return d.adm.depth.Load() == 1 })
+
+	t0 := time.Now()
+	_, err := d.Recommend(context.Background(), RecommendOptions{BudgetFraction: 0.6})
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("full queue returned %v, want ErrOverloaded", err)
+	}
+	if waited := time.Since(t0); waited > 2*time.Second {
+		t.Fatalf("shed took %s — that is queueing, not shedding", waited)
+	}
+	if st := d.Snapshot(); st.ShedRequests != 1 || st.QueuedPeak != 1 || st.QueueDepth != 1 {
+		t.Fatalf("admission counters off: %+v", st)
+	}
+
+	cancelWaiter()
+	if werr := <-waiting; !errors.Is(werr, context.Canceled) {
+		t.Fatalf("cancelled waiter returned %v", werr)
+	}
+}
+
+// TestQueueTimeoutSheds: a queued caller that cannot reach the session
+// within the queue timeout is shed with ErrOverloaded, well before its
+// own request deadline.
+func TestQueueTimeoutSheds(t *testing.T) {
+	d := testDaemon(t)
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+	gen := workload.Hom(workload.HomConfig{Queries: 8, Seed: 3})
+	post(t, srv, "/ingest", ingestRequest{SQL: renderSQL(gen)}, nil)
+
+	d.adm = newAdmission(4, 25*time.Millisecond)
+	d.sem <- struct{}{} // wedge the session
+	defer func() { <-d.sem }()
+
+	_, err := d.Recommend(context.Background(), RecommendOptions{BudgetFraction: 0.4})
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("queue timeout returned %v, want ErrOverloaded", err)
+	}
+	if !strings.Contains(err.Error(), "queued longer") {
+		t.Fatalf("timeout shed does not say so: %v", err)
+	}
+	if d.adm.shed.Load() != 1 {
+		t.Fatalf("shed counter = %d, want 1", d.adm.shed.Load())
+	}
+}
+
+// TestBurstAcceptance is the ISSUE's overload acceptance pin, over
+// real HTTP: a burst of K concurrent identical /recommend requests
+// performs at most a handful of solves (coalescing), and every caller
+// gets either a valid result or a 429 whose Retry-After header and
+// unified JSON body are present.
+func TestBurstAcceptance(t *testing.T) {
+	d := testDaemon(t)
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+	gen := workload.Hom(workload.HomConfig{Queries: 12, Seed: 7})
+	post(t, srv, "/ingest", ingestRequest{SQL: renderSQL(gen)}, nil)
+	d.adm = newAdmission(1, 10*time.Second) // tiny queue: sheds must happen on the distinct burst
+
+	// Phase 1 — identical burst: everyone coalesces onto one flight.
+	const K = 8
+	solves0 := d.ad.Solves()
+	var wg sync.WaitGroup
+	codes := make([]int, K)
+	for i := 0; i < K; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp := post(t, srv, "/recommend", RecommendOptions{BudgetFraction: 0.5}, nil)
+			codes[i] = resp.StatusCode
+		}(i)
+	}
+	wg.Wait()
+	for i, c := range codes {
+		if c != http.StatusOK && c != http.StatusTooManyRequests {
+			t.Fatalf("identical burst caller %d: status %d, want 200 or 429", i, c)
+		}
+	}
+	if got := d.ad.Solves() - solves0; got > K/2 {
+		t.Fatalf("identical burst of %d ran %d solves — coalescing is not working", K, got)
+	}
+
+	// Phase 2 — distinct burst: K different budgets cannot coalesce;
+	// with a queue of one, the overflow must shed as 429 + Retry-After.
+	var mu sync.Mutex
+	sheds := 0
+	for i := 0; i < K; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := RecommendOptions{BudgetFraction: 0.3 + 0.05*float64(i)}
+			raw, _ := json.Marshal(body)
+			resp, err := srv.Client().Post(srv.URL+"/recommend", "application/json", strings.NewReader(string(raw)))
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+				return
+			}
+			defer resp.Body.Close()
+			switch resp.StatusCode {
+			case http.StatusOK:
+			case http.StatusTooManyRequests:
+				if resp.Header.Get("Retry-After") == "" {
+					t.Errorf("caller %d: 429 without Retry-After", i)
+					return
+				}
+				var eb errorBody
+				if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil || eb.Status != 429 || eb.RetryAfter < 1 {
+					t.Errorf("caller %d: malformed 429 body: %+v (%v)", i, eb, err)
+					return
+				}
+				mu.Lock()
+				sheds++
+				mu.Unlock()
+			default:
+				t.Errorf("caller %d: status %d, want 200 or 429", i, resp.StatusCode)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if sheds == 0 {
+		t.Fatalf("distinct burst of %d over a queue of 1 shed nothing", K)
+	}
+	if st := d.Snapshot(); st.ShedRequests == 0 || st.CoalescedRequests == 0 {
+		t.Fatalf("burst left vacuous counters: %+v", st)
+	}
+}
+
+// TestDegradedStateMachine drives the full circle: healthy → (disk
+// failure during an acknowledged-write attempt) → degraded, where
+// mutations are refused naming the cause and reads still serve →
+// (disk heals, probe notices) → healthy, where mutations flow again.
+func TestDegradedStateMachine(t *testing.T) {
+	d, ffs := faultDaemon(t, nil)
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+
+	gen := workload.Hom(workload.HomConfig{Queries: 8, Seed: 5})
+	if resp := post(t, srv, "/ingest", ingestRequest{SQL: renderSQL(gen)}, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy ingest: status %d", resp.StatusCode)
+	}
+
+	// The disk dies: every write and every truncate (the repair path)
+	// fails, so the next logged ingest cannot be made durable.
+	ffs.Fail(persist.FaultRule{Op: persist.OpWrite})
+	ffs.Fail(persist.FaultRule{Op: persist.OpTruncate})
+	ffs.Fail(persist.FaultRule{Op: persist.OpOpen})
+	if _, err := d.Ingest("SELECT l_tax FROM lineitem WHERE l_tax > :0.5;", 0); !errors.Is(err, ErrPersist) {
+		t.Fatalf("ingest on a dead disk returned %v, want ErrPersist", err)
+	}
+
+	// Degraded: state, cause, counters, and the refusal discipline.
+	if state, cause := d.Health(); state != "degraded" || cause == "" {
+		t.Fatalf("health after disk death: %s (%q)", state, cause)
+	}
+	if _, err := d.Ingest("SELECT l_tax FROM lineitem WHERE l_tax > :0.5;", 0); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("degraded ingest returned %v, want ErrDegraded", err)
+	}
+	if _, err := d.Recommend(context.Background(), RecommendOptions{}); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("degraded recommend returned %v, want ErrDegraded", err)
+	}
+	if _, err := d.WriteSnapshot(context.Background()); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("degraded snapshot returned %v, want ErrDegraded", err)
+	}
+	// Reads stay up: /whatif and /stats are exactly the degraded-mode
+	// contract.
+	var wi WhatIfResult
+	if resp := post(t, srv, "/whatif", whatIfRequest{SQL: "SELECT l_tax FROM lineitem WHERE l_tax > :0.5;"}, &wi); resp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded what-if: status %d", resp.StatusCode)
+	}
+	st := d.Snapshot()
+	if st.Health != "degraded" || st.DegradedCause == "" || st.DegradedEntries != 1 || st.DiskErrors == 0 {
+		t.Fatalf("degraded stats: %+v", st)
+	}
+	// The HTTP surface agrees: 503 /healthz naming the state, and a
+	// degraded mutation answers 503 with Retry-After and the cause.
+	hr, err := srv.Client().Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hb struct{ Status, Cause string }
+	json.NewDecoder(hr.Body).Decode(&hb)
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusServiceUnavailable || hb.Status != "degraded" || hb.Cause == "" {
+		t.Fatalf("degraded /healthz: %d %+v", hr.StatusCode, hb)
+	}
+	ir, err := srv.Client().Post(srv.URL+"/ingest", "application/json", strings.NewReader(`{"sql":"SELECT l_tax FROM lineitem WHERE l_tax > :0.5;"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var eb errorBody
+	json.NewDecoder(ir.Body).Decode(&eb)
+	ir.Body.Close()
+	if ir.StatusCode != http.StatusServiceUnavailable || ir.Header.Get("Retry-After") == "" {
+		t.Fatalf("degraded /ingest: %d (Retry-After %q)", ir.StatusCode, ir.Header.Get("Retry-After"))
+	}
+	if !strings.Contains(eb.Error, "degraded") || eb.Status != 503 {
+		t.Fatalf("degraded error body does not name the state: %+v", eb)
+	}
+
+	// The disk heals; the probe loop must notice and reopen for writes.
+	ffs.Reset()
+	waitFor(t, "probe recovery", func() bool { s, _ := d.Health(); return s == "healthy" })
+	if _, err := d.Ingest("SELECT l_quantity FROM lineitem WHERE l_quantity > :0.7;", 0); err != nil {
+		t.Fatalf("post-recovery ingest: %v", err)
+	}
+	if st := d.Snapshot(); st.Health != "healthy" || st.DegradedCause != "" {
+		t.Fatalf("post-recovery stats: %+v", st)
+	}
+}
+
+// TestHealthzDraining: StartDraining flips /healthz to 503 "draining"
+// so load balancers pull the instance before the listener closes.
+func TestHealthzDraining(t *testing.T) {
+	d := testDaemon(t)
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+
+	d.StartDraining()
+	hr, err := srv.Client().Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	var hb struct{ Status string }
+	json.NewDecoder(hr.Body).Decode(&hb)
+	if hr.StatusCode != http.StatusServiceUnavailable || hb.Status != "draining" {
+		t.Fatalf("draining /healthz: %d %+v", hr.StatusCode, hb)
+	}
+}

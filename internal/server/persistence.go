@@ -170,7 +170,11 @@ func (d *Daemon) consFor(budgetFraction float64) cophy.Constraints {
 
 // appendWAL marshals and appends one record, wrapping failures in
 // ErrPersist. Every failure is counted in persist_errors here, so no
-// call site can forget to.
+// call site can forget to — and every failure flips the daemon into
+// degraded mode: a store whose Append failed has already tried an
+// immediate tail repair, so a failure surfacing here means the data
+// directory is genuinely refusing writes and further mutations must
+// be refused until the probe loop finds it writable again.
 func (d *Daemon) appendWAL(r walRecord) error {
 	raw, err := json.Marshal(r)
 	if err == nil {
@@ -178,6 +182,7 @@ func (d *Daemon) appendWAL(r walRecord) error {
 	}
 	if err != nil {
 		d.persistErrors.Add(1)
+		d.enterDegraded(err)
 		return fmt.Errorf("%w: %v", ErrPersist, err)
 	}
 	d.walRecords.Add(1)
@@ -233,6 +238,12 @@ func (d *Daemon) WriteSnapshot(ctx context.Context) (SnapshotResult, error) {
 	if d.store == nil {
 		return SnapshotResult{}, fmt.Errorf("server: no data directory configured")
 	}
+	// A degraded daemon refuses the snapshot up front: the data
+	// directory is known-unwritable, and failing fast with the cause
+	// beats rediscovering it through a doomed rotation.
+	if err := d.checkWritable(); err != nil {
+		return SnapshotResult{}, err
+	}
 	d.snapMu.Lock()
 	defer d.snapMu.Unlock()
 
@@ -242,6 +253,7 @@ func (d *Daemon) WriteSnapshot(ctx context.Context) (SnapshotResult, error) {
 	if err != nil {
 		d.pMu.Unlock()
 		d.persistErrors.Add(1)
+		d.enterDegraded(err)
 		return SnapshotResult{}, fmt.Errorf("%w: %v", ErrPersist, err)
 	}
 	streamState := d.stream.Export()
@@ -269,6 +281,7 @@ func (d *Daemon) WriteSnapshot(ctx context.Context) (SnapshotResult, error) {
 	info, err := d.store.WriteSnapshot(seq, payload)
 	if err != nil {
 		d.persistErrors.Add(1)
+		d.enterDegraded(err)
 		return SnapshotResult{}, fmt.Errorf("%w: %v", ErrPersist, err)
 	}
 	d.snapshots.Add(1)

@@ -142,13 +142,20 @@ func TestDaemonEndToEnd(t *testing.T) {
 	if err := json.NewDecoder(raw.Body).Decode(&asMap); err != nil {
 		t.Fatal(err)
 	}
-	for _, key := range []string{"numeric_fallbacks", "warm_downgrades"} {
+	for _, key := range []string{
+		"numeric_fallbacks", "warm_downgrades",
+		"health", "queue_depth", "queued_peak", "shed_requests",
+		"coalesced_requests", "degraded_entries", "disk_errors",
+	} {
 		if _, ok := asMap[key]; !ok {
 			t.Fatalf("/stats missing %q: %v", key, asMap)
 		}
 	}
 	if st.NumericFallbacks != 0 || st.WarmDowngrades != 0 {
 		t.Fatalf("healthy run reported numeric trouble: %+v", st)
+	}
+	if st.Health != "healthy" || st.ShedRequests != 0 || st.DegradedEntries != 0 {
+		t.Fatalf("healthy run reported overload/degradation: %+v", st)
 	}
 }
 

@@ -283,3 +283,15 @@ func (st *Stream) Ticks() int64 {
 	defer st.mu.Unlock()
 	return st.ticks
 }
+
+// Generation identifies the stream's mutation state: it changes
+// whenever the live workload may have changed (every Observe, Tick or
+// Restore) and is stable between mutations. Two calls returning the
+// same value bracket an unchanged workload, which is exactly the
+// coalescing key a caller needs to share one computation over the
+// stream between concurrent requests.
+func (st *Stream) Generation() int64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.observed + st.ticks
+}
