@@ -27,8 +27,10 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -40,6 +42,25 @@ import (
 	"repro/internal/server"
 	"repro/internal/tpch"
 )
+
+// listenLoopback listens on addr only when its host resolves to a
+// loopback interface; anything else is refused so a typo cannot expose
+// the profiler to the network.
+func listenLoopback(addr string) (net.Listener, error) {
+	host, _, err := net.SplitHostPort(addr)
+	if err != nil {
+		return nil, fmt.Errorf("pprof-addr: %w", err)
+	}
+	ip := net.ParseIP(host)
+	if ip == nil {
+		if host != "localhost" {
+			return nil, fmt.Errorf("pprof-addr: host %q is not a loopback address; use 127.0.0.1, ::1 or localhost", host)
+		}
+	} else if !ip.IsLoopback() {
+		return nil, fmt.Errorf("pprof-addr: %s is not a loopback address; the profiler serves loopback only", ip)
+	}
+	return net.Listen("tcp", addr)
+}
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address; port 0 picks a free port")
@@ -59,6 +80,8 @@ func main() {
 	snapInterval := flag.Duration("snapshot-interval", 5*time.Minute, "period between durable snapshots when -data-dir is set (0 = only on shutdown and POST /snapshot)")
 	authToken := flag.String("auth-token", "", "bearer token required on mutating endpoints (/ingest, /recommend, /snapshot); empty disables auth")
 	fsync := flag.Bool("fsync", false, "fsync the WAL after every record (survives machine crashes, not just process crashes)")
+	logRequests := flag.Bool("log-requests", false, "log one structured line per HTTP request (trace ID, endpoint, status, span breakdown) to stderr")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this loopback address (e.g. 127.0.0.1:6060); refused for non-loopback hosts, never on the public mux (empty disables)")
 	flag.Parse()
 
 	prof := engine.SystemA()
@@ -78,6 +101,11 @@ func main() {
 		}
 	}
 
+	var reqLog *slog.Logger
+	if *logRequests {
+		reqLog = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+
 	d, err := server.New(server.Config{
 		Catalog:        cat,
 		Engine:         eng,
@@ -90,6 +118,7 @@ func main() {
 		QueueTimeout:   *queueTimeout,
 		Store:          store,
 		AuthToken:      *authToken,
+		RequestLog:     reqLog,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
@@ -99,6 +128,31 @@ func main() {
 		rec := d.Snapshot().Recovery
 		fmt.Printf("cophyd recovered %d statements, %d WAL records replayed, warm session: %v (%.0f ms)\n",
 			rec.Statements, rec.ReplayedRecords, rec.WarmSession, rec.Millis)
+	}
+
+	// The pprof listener is deliberately separate from the public mux:
+	// profiles expose internals (memory contents, timings) and must
+	// never ride on the service port or hide behind the bearer token —
+	// loopback-only, or not at all.
+	if *pprofAddr != "" {
+		pln, err := listenLoopback(*pprofAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		fmt.Printf("cophyd pprof listening on %s\n", pln.Addr())
+		go func() {
+			psrv := &http.Server{Handler: pmux, ReadHeaderTimeout: 10 * time.Second}
+			if err := psrv.Serve(pln); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "pprof serve error:", err)
+			}
+		}()
 	}
 
 	ln, err := net.Listen("tcp", *addr)

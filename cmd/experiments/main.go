@@ -21,7 +21,12 @@
 // delta table with the noise gate applied (>15% on any entry, or >5%
 // on three or more, is flagged). Adding `-fail-over=PCT` promotes the
 // gate to a failing one: any benchmark regressing more than PCT makes
-// the command exit non-zero, naming the offenders. CI uploads each
+// the command exit non-zero, naming the offenders.
+//
+// `experiments -bench-diff BASEDIR -bench-diff-dir RESULTDIR` diffs a
+// results directory that already exists — the cophybench load harness
+// writes BENCH_daemon.json out of band — without running the substrate
+// sweep. CI uploads each
 // run's BENCH_*.json as a workflow artifact and runs the diff against
 // the previous run's artifact; the job stays non-blocking until the
 // repository variable BENCH_FAIL_OVER is set (a pinned-hardware runner
@@ -52,9 +57,23 @@ func main() {
 	gap := flag.Float64("gap", 0.05, "solver optimality-gap tolerance")
 	benchJSON := flag.String("bench-json", "", "run the substrate micro-benchmarks and write BENCH_inum.json / BENCH_solver.json / BENCH_lp.json into this directory, then exit")
 	benchDiff := flag.String("bench-diff", "", "baseline directory: print the per-benchmark delta of -bench-json's directory (or a previously written one) against it, then exit")
+	benchDiffDir := flag.String("bench-diff-dir", "", "with -bench-diff: diff this pre-existing results directory (e.g. one cophybench wrote) against the baseline instead of running a fresh -bench-json sweep, then exit")
 	failOver := flag.Float64("fail-over", 0, "with -bench-diff: exit non-zero when any benchmark regresses more than this percentage (0 keeps the diff advisory — the shared-runner default)")
 	flag.Parse()
 
+	if *benchDiffDir != "" {
+		// Externally produced results (cophybench's BENCH_daemon.json)
+		// already exist on disk; just diff them.
+		if *benchDiff == "" {
+			fmt.Fprintln(os.Stderr, "-bench-diff-dir needs -bench-diff BASEDIR naming the baseline directory")
+			os.Exit(1)
+		}
+		if err := experiments.DiffBenchJSON(*benchDiff, *benchDiffDir, *failOver); err != nil {
+			fmt.Fprintf(os.Stderr, "bench-diff failed: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *benchJSON != "" {
 		// Always a fresh run — with -bench-diff as well, so the diff
 		// can never silently compare stale files left in the directory.

@@ -61,7 +61,7 @@ func main() {
 
 	// Phase 1: the reporting mix dominates.
 	for i := 0; i < 3; i++ {
-		if _, err := d.Ingest(mixA, 1); err != nil {
+		if _, err := d.Ingest(context.Background(), mixA, 1); err != nil {
 			panic(err)
 		}
 	}
@@ -70,7 +70,7 @@ func main() {
 	// Phase 2: traffic shifts to customer lookups; the old mix decays
 	// (half-life 3 batches) while the new one accumulates.
 	for i := 0; i < 8; i++ {
-		if _, err := d.Ingest(mixB, 1); err != nil {
+		if _, err := d.Ingest(context.Background(), mixB, 1); err != nil {
 			panic(err)
 		}
 	}

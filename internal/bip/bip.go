@@ -8,11 +8,13 @@
 package bip
 
 import (
+	"context"
 	"math"
 	"sort"
 	"time"
 
 	"repro/internal/lp"
+	"repro/internal/obs"
 )
 
 // Model is a binary integer program: an LP plus the set of variables
@@ -84,6 +86,13 @@ type Options struct {
 	// Progress, if non-nil, receives bound-improvement events — the
 	// feedback channel behind CoPhy's early-termination feature.
 	Progress func(Event)
+	// Ctx, when non-nil, serves two purposes: cancellation stops the
+	// search at the next node boundary (the incumbent and proven bounds
+	// are returned, like a time limit), and a request trace riding in it
+	// (obs.TraceFrom) receives the node LPs' phase timings, so a
+	// /recommend decomposes down to simplex phases even through the
+	// branch-and-bound layer.
+	Ctx context.Context
 }
 
 // Result is the outcome of a solve.
@@ -170,12 +179,16 @@ func Solve(m Model, opts Options) Result {
 	queue := []*node{{fixed: map[int]float64{}, bound: math.Inf(-1)}}
 	globalLower := math.Inf(-1)
 
+	tr := obs.TraceFrom(opts.Ctx)
 	for len(queue) > 0 {
 		if opts.MaxNodes > 0 && nodes >= opts.MaxNodes {
 			break
 		}
 		if opts.TimeLimit > 0 && time.Since(start) > opts.TimeLimit {
 			break
+		}
+		if opts.Ctx != nil && opts.Ctx.Err() != nil {
+			break // cancelled: return the incumbent and proven bounds
 		}
 		// Pop the best-bound node.
 		sort.Slice(queue, func(i, j int) bool { return queue[i].bound < queue[j].bound })
@@ -197,6 +210,11 @@ func Solve(m Model, opts Options) Result {
 			p.SetBounds(j, v, v)
 		}
 		sol := lp.SolveFrom(p, nd.basis)
+		tr.Add("lp.phase1", sol.Phase1Dur)
+		tr.Add("lp.phase2", sol.Phase2Dur)
+		if sol.Refactors > 0 {
+			tr.AddN("lp.factor", sol.FactorDur, int64(sol.Refactors))
+		}
 		if sol.NumericFallback {
 			numFallbacks++
 		}

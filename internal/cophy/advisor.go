@@ -10,6 +10,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/inum"
 	"repro/internal/lagrange"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -143,7 +144,7 @@ func (ad *Advisor) solveWith(ctx context.Context, inst *Instance, model *lagrang
 			ad.Opts.Progress(e)
 		}
 	}
-	if ok, _ := model.CheckFeasible(); !ok {
+	if ok, _ := model.CheckFeasibleCtx(ctx); !ok {
 		return &Result{
 			Infeasible: true,
 			Violated:   model.IdentifyInfeasible(),
@@ -461,6 +462,11 @@ func (se *Session) SolveCtx(ctx context.Context) (*Result, error) {
 		return nil, err
 	}
 	res.Times = Timings{INUM: inumTime, Build: buildTime, Solve: solveTime}
+	if tr := obs.TraceFrom(ctx); tr != nil {
+		tr.Add("inum", inumTime)
+		tr.Add("build", buildTime)
+		tr.Add("solve", solveTime)
+	}
 	if !res.Infeasible {
 		se.last = res
 		se.seed = nil // the session's own state supersedes the recovered seed

@@ -18,11 +18,13 @@
 package lagrange
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
 	"repro/internal/lp"
+	"repro/internal/obs"
 )
 
 // NoIndex marks an option that uses no index (the I∅ access method).
@@ -267,9 +269,23 @@ func (m *Model) retuneZPolytope(p *lp.Problem, obj []float64, fixedIn, fixedOut 
 // the small z polytope (for the common constraint shapes the LP is
 // integral already; the fallback uses the generic BIP solver).
 func (m *Model) CheckFeasible() (bool, error) {
+	return m.CheckFeasibleCtx(context.Background())
+}
+
+// CheckFeasibleCtx is CheckFeasible with a context: cancellation stops
+// the fallback BIP search at a node boundary, and a request trace
+// riding in the context (obs.TraceFrom) receives the LP phase timings
+// of the screen.
+func (m *Model) CheckFeasibleCtx(ctx context.Context) (bool, error) {
+	tr := obs.TraceFrom(ctx)
 	obj := make([]float64, m.NumIndexes)
 	p := m.zPolytopeLP(obj, nil, nil)
 	s := lp.Solve(p)
+	tr.Add("lp.phase1", s.Phase1Dur)
+	tr.Add("lp.phase2", s.Phase2Dur)
+	if s.Refactors > 0 {
+		tr.AddN("lp.factor", s.FactorDur, int64(s.Refactors))
+	}
 	if s.Status == lp.Infeasible {
 		return false, nil
 	}
@@ -284,7 +300,7 @@ func (m *Model) CheckFeasible() (bool, error) {
 	for a := range bins {
 		bins[a] = a
 	}
-	return checkBinaryFeasible(p, bins), nil
+	return checkBinaryFeasible(ctx, p, bins), nil
 }
 
 // IdentifyInfeasible returns the names of side constraints whose

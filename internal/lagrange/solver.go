@@ -9,13 +9,15 @@ import (
 
 	"repro/internal/bip"
 	"repro/internal/lp"
+	"repro/internal/obs"
 	"repro/internal/par"
 )
 
 // checkBinaryFeasible decides binary feasibility of the small z
-// polytope exactly with the generic BIP solver.
-func checkBinaryFeasible(p *lp.Problem, bins []int) bool {
-	r := bip.Solve(bip.Model{P: p, Binaries: bins}, bip.Options{MaxNodes: 5000})
+// polytope exactly with the generic BIP solver. The context carries
+// cancellation and any request trace into the node LPs.
+func checkBinaryFeasible(ctx context.Context, p *lp.Problem, bins []int) bool {
+	r := bip.Solve(bip.Model{P: p, Binaries: bins}, bip.Options{MaxNodes: 5000, Ctx: ctx})
 	return r.Status != bip.Infeasible
 }
 
@@ -176,6 +178,11 @@ type solver struct {
 	zProb  *lp.Problem
 	zBasis *lp.Basis
 
+	// tr is the request trace riding in opts.Ctx (nil-safe): the z
+	// subproblem's simplex phases are recorded on it so a /recommend
+	// decomposes down to LP phases through the Lagrangian layer.
+	tr *obs.Trace
+
 	start time.Time
 	iters int
 
@@ -210,7 +217,7 @@ func Solve(m *Model, opts Options) Result {
 		opts.MaxNodes = 48
 	}
 
-	if ok, _ := m.CheckFeasible(); !ok {
+	if ok, _ := m.CheckFeasibleCtx(opts.Ctx); !ok {
 		return Result{Infeasible: true, Gap: math.Inf(1)}
 	}
 
@@ -238,6 +245,7 @@ func Solve(m *Model, opts Options) Result {
 		bestObj:   math.Inf(1),
 		lower:     math.Inf(-1),
 		events:    opts.Progress,
+		tr:        obs.TraceFrom(opts.Ctx),
 	}
 	s.compile()
 	if opts.Warm != nil {
@@ -725,6 +733,11 @@ func (s *solver) zSubproblem() (float64, []float64) {
 		m.retuneZPolytope(s.zProb, rc, s.fixedIn, s.fixedOut)
 	}
 	sol := lp.SolveFrom(s.zProb, s.zBasis)
+	s.tr.Add("lp.phase1", sol.Phase1Dur)
+	s.tr.Add("lp.phase2", sol.Phase2Dur)
+	if sol.Refactors > 0 {
+		s.tr.AddN("lp.factor", sol.FactorDur, int64(sol.Refactors))
+	}
 	if sol.NumericFallback {
 		s.numFallbacks++
 	}

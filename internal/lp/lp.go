@@ -22,6 +22,7 @@ package lp
 import (
 	"fmt"
 	"math"
+	"time"
 )
 
 // Sense is the comparison sense of a linear constraint.
@@ -218,6 +219,17 @@ type Solution struct {
 	// from the all-slack (cold) basis. Warm-start assertions must check
 	// this: a "warm" solve with this flag set measured a cold one.
 	WarmDowngraded bool
+	// Phase1Dur / Phase2Dur are the wall time spent in each simplex
+	// phase, and Refactors counts mid-solve basis refactorizations with
+	// FactorDur their wall time (spent *inside* the phases, not in
+	// addition to them). A dense rescue charges its time to the same
+	// fields, so the totals always describe the whole solve. These feed
+	// the per-request span breakdown (queue-wait / lp.phase1 / … ) the
+	// daemon's tracing exposes.
+	Phase1Dur time.Duration
+	Phase2Dur time.Duration
+	FactorDur time.Duration
+	Refactors int
 }
 
 // Basis is a reusable simplex starting point: the basic column of each
@@ -286,17 +298,21 @@ func SolveDenseWithLimit(p *Problem, maxIters int) Solution {
 func solveFrom(p *Problem, maxIters int, warm *Basis) Solution {
 	t := newTableau(p)
 	t.install(warm)
+	t1 := time.Now()
 	st, iters1 := t.phase1(maxIters)
+	p1 := time.Since(t1)
 	if st != Optimal {
-		return Solution{Status: st, Iters: iters1}
+		return Solution{Status: st, Iters: iters1, Phase1Dur: p1}
 	}
+	t2 := time.Now()
 	st, iters2 := t.phase2(maxIters)
+	p2 := time.Since(t2)
 	x := t.extract()
 	obj := 0.0
 	for j := 0; j < p.cols; j++ {
 		obj += p.obj[j] * x[j]
 	}
-	return Solution{Status: st, X: x, Obj: obj, Iters: iters1 + iters2, Basis: t.captureBasis()}
+	return Solution{Status: st, X: x, Obj: obj, Iters: iters1 + iters2, Basis: t.captureBasis(), Phase1Dur: p1, Phase2Dur: p2}
 }
 
 // install re-establishes a previous solve's basis on a fresh tableau:

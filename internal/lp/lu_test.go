@@ -100,11 +100,11 @@ func TestDenseRescueChargesBudget(t *testing.T) {
 
 	// Per-phase budget fully spent before the failure: the rescue may
 	// not run at all — IterLimit, not a free dense solve.
-	sol := denseRescue(p, 10, 10, 10, nil, false)
+	sol := denseRescue(p, 10, 10, 10, nil, newSpx(p), 0, 0)
 	if sol.Status != IterLimit || !sol.NumericFallback || sol.Iters != 10 {
 		t.Fatalf("exhausted rescue: %+v", sol)
 	}
-	sol = denseRescue(p, 10, 12, 12, nil, false)
+	sol = denseRescue(p, 10, 12, 12, nil, newSpx(p), 0, 0)
 	if sol.Status != IterLimit || sol.Iters != 12 {
 		t.Fatalf("over-spent rescue: %+v", sol)
 	}
@@ -112,7 +112,7 @@ func TestDenseRescueChargesBudget(t *testing.T) {
 	// The budget is per phase (SolveWithLimit's contract): two sparse
 	// phases may spend 7 each against maxIters=10 without exceeding
 	// it, and the rescue still runs on the 3 per phase that remain.
-	sol = denseRescue(p, 10, 7, 14, nil, false)
+	sol = denseRescue(p, 10, 7, 14, nil, newSpx(p), 0, 0)
 	if sol.Status != Optimal || !sol.NumericFallback {
 		t.Fatalf("per-phase rescue: %+v", sol)
 	}
@@ -123,7 +123,7 @@ func TestDenseRescueChargesBudget(t *testing.T) {
 	// Remaining budget: the dense oracle finishes, total iterations
 	// include the sparse pivots already spent, and the fallback is
 	// visible on the solution.
-	sol = denseRescue(p, 1000, 7, 7, nil, false)
+	sol = denseRescue(p, 1000, 7, 7, nil, newSpx(p), 0, 0)
 	if sol.Status != Optimal || !sol.NumericFallback {
 		t.Fatalf("rescue with budget: %+v", sol)
 	}
@@ -133,7 +133,9 @@ func TestDenseRescueChargesBudget(t *testing.T) {
 	if sol.WarmDowngraded {
 		t.Fatal("rescue invented a downgrade")
 	}
-	if got := denseRescue(p, 1000, 7, 7, nil, true); !got.WarmDowngraded {
+	down := newSpx(p)
+	down.downgraded = true
+	if got := denseRescue(p, 1000, 7, 7, nil, down, 0, 0); !got.WarmDowngraded {
 		t.Fatal("rescue dropped the downgrade flag")
 	}
 }

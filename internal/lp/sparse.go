@@ -31,7 +31,10 @@ package lp
 // otherwise the basis is refactored from its columns, still never
 // touching a dense m×n tableau.
 
-import "math"
+import (
+	"math"
+	"time"
+)
 
 // facSnapshot is the reusable factorization a captured Basis carries:
 // the LU factors and the row→column assignment they realize, keyed by
@@ -113,6 +116,12 @@ type spx struct {
 	// from the all-slack basis instead (Solution.WarmDowngraded).
 	downgraded bool
 
+	// refactors / factorDur count mid-solve refactorizations and their
+	// wall time (Solution.Refactors / FactorDur — the "refactorizations"
+	// span of the daemon's request traces).
+	refactors int
+	factorDur time.Duration
+
 	// scratch buffers, reused across iterations.
 	w      []float64 // FTRAN scratch
 	touch  []int32
@@ -128,20 +137,25 @@ type spx struct {
 func solveSparse(p *Problem, maxIters int, warm *Basis) Solution {
 	s := newSpx(p)
 	s.install(warm)
+	t1 := time.Now()
 	st, iters1 := s.phase1(maxIters)
+	p1 := time.Since(t1)
 	if st == statusNumeric {
-		return denseRescue(p, maxIters, iters1, iters1, warm, s.downgraded)
+		return denseRescue(p, maxIters, iters1, iters1, warm, s, p1, 0)
 	}
 	if st != Optimal {
-		return Solution{Status: st, Iters: iters1, WarmDowngraded: s.downgraded}
+		return Solution{Status: st, Iters: iters1, WarmDowngraded: s.downgraded,
+			Phase1Dur: p1, FactorDur: s.factorDur, Refactors: s.refactors}
 	}
+	t2 := time.Now()
 	st, iters2 := s.phase2(maxIters)
+	p2 := time.Since(t2)
 	if st == statusNumeric {
 		spentMax := iters1
 		if iters2 > spentMax {
 			spentMax = iters2
 		}
-		return denseRescue(p, maxIters, spentMax, iters1+iters2, warm, s.downgraded)
+		return denseRescue(p, maxIters, spentMax, iters1+iters2, warm, s, p1, p2)
 	}
 	x := s.extract()
 	obj := 0.0
@@ -151,6 +165,7 @@ func solveSparse(p *Problem, maxIters int, warm *Basis) Solution {
 	return Solution{
 		Status: st, X: x, Obj: obj, Iters: iters1 + iters2,
 		Basis: s.captureBasis(), WarmDowngraded: s.downgraded,
+		Phase1Dur: p1, Phase2Dur: p2, FactorDur: s.factorDur, Refactors: s.refactors,
 	}
 }
 
@@ -166,15 +181,22 @@ func solveSparse(p *Problem, maxIters int, warm *Basis) Solution {
 // positive and the rescue always runs. Iters reports total pivots:
 // everything the sparse attempt burned (spentTotal) plus the dense
 // finish.
-func denseRescue(p *Problem, maxIters, spentMax, spentTotal int, warm *Basis, downgraded bool) Solution {
+func denseRescue(p *Problem, maxIters, spentMax, spentTotal int, warm *Basis, s *spx, spent1, spent2 time.Duration) Solution {
 	remaining := maxIters - spentMax
 	if remaining <= 0 {
-		return Solution{Status: IterLimit, Iters: spentTotal, NumericFallback: true, WarmDowngraded: downgraded}
+		return Solution{Status: IterLimit, Iters: spentTotal, NumericFallback: true, WarmDowngraded: s.downgraded,
+			Phase1Dur: spent1, Phase2Dur: spent2, FactorDur: s.factorDur, Refactors: s.refactors}
 	}
 	sol := solveFrom(p, remaining, warm)
 	sol.Iters += spentTotal
 	sol.NumericFallback = true
-	sol.WarmDowngraded = downgraded
+	sol.WarmDowngraded = s.downgraded
+	// The failed sparse attempt's phase time is real solve time: charge
+	// it on top of the dense finish so the breakdown sums to the wall.
+	sol.Phase1Dur += spent1
+	sol.Phase2Dur += spent2
+	sol.FactorDur += s.factorDur
+	sol.Refactors += s.refactors
 	return sol
 }
 
@@ -555,6 +577,8 @@ func (s *spx) reinstall(target []int) bool {
 // recompute means the factors had degraded — surfaced as
 // statusNumeric instead of iterating on an infeasible point.
 func (s *spx) refactorize() Status {
+	s.refactors++
+	defer func(t0 time.Time) { s.factorDur += time.Since(t0) }(time.Now())
 	before := append([]int(nil), s.basis...)
 	s.reinstall(before)
 	for j := range s.inB {

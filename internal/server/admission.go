@@ -5,9 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // ErrOverloaded is returned (wrapped) by Recommend when the admission
@@ -28,15 +29,17 @@ type admission struct {
 	tickets chan struct{} // queue slots: holders are waiting for the session
 	timeout time.Duration
 
-	// ewmaNs tracks observed solve latency (exponentially weighted,
-	// α=0.3) — the basis for Retry-After: a shed caller is told to come
-	// back after roughly the time the queue ahead of it needs to drain.
-	mu     sync.Mutex
-	ewmaNs float64
+	// solveHist records in-slot solve wall time — the basis for
+	// Retry-After: a shed caller is told to come back after roughly the
+	// p95 solve time for each request ahead of it. The daemon swaps in
+	// its registered series (metrics.go), so Retry-After and the
+	// cophyd_solve_seconds exposition read the same samples by
+	// construction.
+	solveHist *obs.Histogram
 
 	depth atomic.Int64 // callers currently queued
 	peak  atomic.Int64 // high-water mark of depth
-	shed  atomic.Int64 // requests refused with ErrOverloaded
+	shed  *obs.Counter // requests refused with ErrOverloaded
 }
 
 func newAdmission(maxQueue int, timeout time.Duration) *admission {
@@ -47,8 +50,10 @@ func newAdmission(maxQueue int, timeout time.Duration) *admission {
 		timeout = 2 * time.Second
 	}
 	return &admission{
-		tickets: make(chan struct{}, maxQueue),
-		timeout: timeout,
+		tickets:   make(chan struct{}, maxQueue),
+		timeout:   timeout,
+		solveHist: obs.NewHistogram(),
+		shed:      &obs.Counter{},
 	}
 }
 
@@ -60,7 +65,7 @@ func (a *admission) admit(ctx context.Context, sem chan struct{}) (func(), error
 	select {
 	case a.tickets <- struct{}{}:
 	default:
-		a.shed.Add(1)
+		a.shed.Inc()
 		return nil, fmt.Errorf("%w: admission queue full (%d waiting)", ErrOverloaded, cap(a.tickets))
 	}
 	d := a.depth.Add(1)
@@ -82,7 +87,7 @@ func (a *admission) admit(ctx context.Context, sem chan struct{}) (func(), error
 		return func() { <-sem }, nil
 	case <-timer.C:
 		leave()
-		a.shed.Add(1)
+		a.shed.Inc()
 		return nil, fmt.Errorf("%w: queued longer than %s", ErrOverloaded, a.timeout)
 	case <-ctx.Done():
 		leave()
@@ -90,30 +95,24 @@ func (a *admission) admit(ctx context.Context, sem chan struct{}) (func(), error
 	}
 }
 
-// observe folds one completed solve's wall time into the latency EWMA.
+// observe folds one completed solve's wall time into the latency
+// histogram shared with the /metrics exposition.
 func (a *admission) observe(d time.Duration) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if a.ewmaNs == 0 {
-		a.ewmaNs = float64(d)
-		return
-	}
-	a.ewmaNs = 0.7*a.ewmaNs + 0.3*float64(d)
+	a.solveHist.Observe(d)
 }
 
-// retryAfter estimates, in whole seconds (≥1), how long a shed caller
-// should wait: the queue ahead of it times the smoothed solve latency.
-// With no solve observed yet it answers 1 — optimistic, but the only
-// honest number before data exists.
+// retryAfter estimates, in whole seconds (≥1, capped at 60), how long
+// a shed caller should wait: the queue ahead of it times the p95
+// observed solve latency — pessimistic on purpose, since a caller that
+// returns too early is shed again. With no solve observed yet it
+// answers 1, the only honest number before data exists.
 func (a *admission) retryAfter() int {
-	a.mu.Lock()
-	ewma := a.ewmaNs
-	a.mu.Unlock()
-	if ewma == 0 {
+	snap := a.solveHist.Snapshot()
+	if snap.Count == 0 {
 		return 1
 	}
 	backlog := float64(a.depth.Load() + 1) // queued callers plus the one in service
-	sec := math.Ceil(ewma * backlog / float64(time.Second))
+	sec := math.Ceil(float64(snap.Quantile(0.95)) * backlog / float64(time.Second))
 	if sec < 1 {
 		sec = 1
 	}

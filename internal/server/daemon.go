@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/cophy"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/persist"
 	"repro/internal/tpch"
 	"repro/internal/workload"
@@ -81,6 +83,11 @@ type Config struct {
 	// /snapshot); a mismatch answers 401. Read-only endpoints stay
 	// open.
 	AuthToken string
+	// RequestLog, when non-nil, receives one structured line per HTTP
+	// request: trace ID, endpoint, status, wall time and the span
+	// breakdown (queue wait, solver phases, WAL append). Nil disables
+	// request logging; metrics are recorded either way.
+	RequestLog *slog.Logger
 }
 
 // Daemon is the service core. All exported methods are safe for
@@ -123,7 +130,7 @@ type Daemon struct {
 	// mode; probeBase/probeMax bound the recovery probe backoff.
 	health          atomic.Int32
 	degradedCause   atomic.Value // string
-	degradedEntries atomic.Int64
+	degradedEntries *obs.Counter
 	probeBase       time.Duration
 	probeMax        time.Duration
 
@@ -146,18 +153,24 @@ type Daemon struct {
 	wiSeen  map[string]bool
 	wiOrder []string
 
-	ingested       atomic.Int64
-	coalesced      atomic.Int64
-	numFallbacks   atomic.Int64
-	warmDowngrades atomic.Int64
-	whatifs        atomic.Int64
-	recommends     atomic.Int64
-	evicted        atomic.Int64
-	rebases        atomic.Int64
-	compactions    atomic.Int64
-	walRecords     atomic.Int64
-	snapshots      atomic.Int64
-	persistErrors  atomic.Int64
+	// reg is the metric registry behind /metrics; the counters below are
+	// its registered series (see metrics.go), shared verbatim with the
+	// /stats snapshot. degradedEntries lives above with the health state.
+	reg    *obs.Registry
+	reqLog *slog.Logger
+
+	ingested       *obs.Counter
+	coalesced      *obs.Counter
+	numFallbacks   *obs.Counter
+	warmDowngrades *obs.Counter
+	whatifs        *obs.Counter
+	recommends     *obs.Counter
+	evicted        *obs.Counter
+	rebases        *obs.Counter
+	compactions    *obs.Counter
+	walRecords     *obs.Counter
+	snapshots      *obs.Counter
+	persistErrors  *obs.Counter
 }
 
 // maxWhatIfEntries caps the distinct what-if statements whose template
@@ -194,7 +207,9 @@ func New(cfg Config) (*Daemon, error) {
 		flights:       make(map[string]*flight),
 		probeBase:     cfg.ProbeBase,
 		probeMax:      cfg.ProbeMax,
+		reqLog:        cfg.RequestLog,
 	}
+	d.registerMetrics(obs.NewRegistry())
 	if d.probeBase <= 0 {
 		d.probeBase = 500 * time.Millisecond
 	}
@@ -242,11 +257,11 @@ type IngestResult struct {
 // degraded (durable writes failing) the batch is refused outright:
 // accepting state that cannot be logged would silently break the
 // restart contract.
-func (d *Daemon) Ingest(sql string, weightScale float64) (IngestResult, error) {
+func (d *Daemon) Ingest(ctx context.Context, sql string, weightScale float64) (IngestResult, error) {
 	if err := d.checkWritable(); err != nil {
 		return IngestResult{}, err
 	}
-	return d.applyIngest(sql, weightScale, d.store != nil)
+	return d.applyIngest(ctx, sql, weightScale, d.store != nil)
 }
 
 // applyIngest is Ingest's body; recovery replays WAL records through
@@ -258,14 +273,14 @@ func (d *Daemon) Ingest(sql string, weightScale float64) (IngestResult, error) {
 // untouched — a client retry then applies it once, not twice — and a
 // crash between append and apply merely replays a record whose effects
 // never happened.
-func (d *Daemon) applyIngest(sql string, weightScale float64, record bool) (IngestResult, error) {
+func (d *Daemon) applyIngest(ctx context.Context, sql string, weightScale float64, record bool) (IngestResult, error) {
 	w, err := workload.Parse(d.cat, sql)
 	if err != nil {
 		return IngestResult{}, err
 	}
 	d.pMu.Lock()
 	if record {
-		if err := d.appendWAL(walRecord{Type: "ingest", SQL: sql, Scale: weightScale}); err != nil {
+		if err := d.appendWAL(ctx, walRecord{Type: "ingest", SQL: sql, Scale: weightScale}); err != nil {
 			d.pMu.Unlock()
 			return IngestResult{}, err
 		}
@@ -394,6 +409,11 @@ type RecommendResult struct {
 	// Iters counts solver subgradient iterations — warm incremental
 	// re-solves show up as a drop here.
 	Iters int `json:"iters"`
+	// TraceID echoes the request's trace ID (also in the X-Trace-Id
+	// response header), so a slow recommendation can be matched to its
+	// request-log line and span breakdown. Coalesced followers carry
+	// their own ID, not the leader's.
+	TraceID string `json:"trace_id,omitempty"`
 	// Warm is true when the solve reused the previous session state.
 	Warm bool `json:"warm"`
 	// WorkloadSize and Candidates describe the solved instance.
@@ -435,6 +455,9 @@ func (d *Daemon) Recommend(ctx context.Context, opts RecommendOptions) (Recommen
 		if retry {
 			continue
 		}
+		if tr := obs.TraceFrom(ctx); tr != nil {
+			res.TraceID = tr.ID
+		}
 		return res, err
 	}
 }
@@ -458,14 +481,17 @@ func (d *Daemon) coalesce(ctx context.Context, opts RecommendOptions) (Recommend
 	d.flMu.Lock()
 	if f, ok := d.flights[key]; ok {
 		d.flMu.Unlock()
-		d.coalesced.Add(1)
+		d.coalesced.Inc()
+		stop := obs.TraceFrom(ctx).StartSpan("coalesce.wait")
 		select {
 		case <-f.done:
+			stop()
 			if f.err != nil && (errors.Is(f.err, context.Canceled) || errors.Is(f.err, context.DeadlineExceeded)) && ctx.Err() == nil {
 				return RecommendResult{}, f.err, true
 			}
 			return f.res, f.err, false
 		case <-ctx.Done():
+			stop()
 			return RecommendResult{}, ctx.Err(), false
 		}
 	}
@@ -490,7 +516,9 @@ func (d *Daemon) solveRecommend(ctx context.Context, opts RecommendOptions) (Rec
 	if err := ctx.Err(); err != nil {
 		return RecommendResult{}, err
 	}
+	stopQueue := obs.TraceFrom(ctx).StartSpan("queue.wait")
 	release, err := d.adm.admit(ctx, d.sem)
+	stopQueue()
 	if err != nil {
 		return RecommendResult{}, err
 	}
@@ -501,7 +529,9 @@ func (d *Daemon) solveRecommend(ctx context.Context, opts RecommendOptions) (Rec
 	// admission: a request the queue sheds costs nothing but the
 	// snapshot above.
 	cons := d.consFor(opts.BudgetFraction)
+	stopCand := obs.TraceFrom(ctx).StartSpan("candgen")
 	cands := cophy.Candidates(d.cat, w, d.cgen)
+	stopCand()
 
 	// The session's candidate positions are append-only (they anchor
 	// the solver's z variables), so dead candidates — ones no live
@@ -585,7 +615,7 @@ func (d *Daemon) solveRecommend(ctx context.Context, opts RecommendOptions) (Rec
 	// Retry-After) with the full in-slot wall time: candidate
 	// generation plus solve, the cost the next queued caller will pay.
 	d.adm.observe(time.Since(t0))
-	d.recommends.Add(1)
+	d.recommends.Inc()
 	d.numFallbacks.Add(int64(res.NumericFallbacks))
 	d.warmDowngrades.Add(int64(res.WarmDowngrades))
 	d.lastBudget = opts.BudgetFraction
@@ -598,7 +628,7 @@ func (d *Daemon) solveRecommend(ctx context.Context, opts RecommendOptions) (Rec
 	if d.store != nil && !res.Infeasible {
 		if st := d.sessionStateLocked(opts.BudgetFraction); st != nil {
 			// appendWAL counts the failure in persist_errors.
-			_ = d.appendWAL(walRecord{Type: "session", Session: st})
+			_ = d.appendWAL(ctx, walRecord{Type: "session", Session: st})
 		}
 	}
 

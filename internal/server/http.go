@@ -6,11 +6,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"time"
 
 	"repro/internal/catalog"
+	"repro/internal/obs"
 )
 
 // IndexSpec is the wire form of an index.
@@ -64,21 +66,29 @@ type whatIfRequest struct {
 //	POST /recommend {"budget_fraction": 0.5}                → RecommendResult
 //	POST /snapshot  (empty body)                            → SnapshotResult
 //	GET  /stats                                             → Stats
+//	GET  /metrics                                           → Prometheus text format
 //	GET  /healthz                                           → 200 ok
 //
 // With an auth token configured, the mutating endpoints (/ingest,
 // /recommend, /snapshot) require `Authorization: Bearer <token>`.
+//
+// Every endpoint runs under the tracing middleware: the response
+// carries an X-Trace-Id header, the request's latency lands in the
+// per-endpoint histogram, and the trace's span breakdown (queue wait,
+// solver phases, WAL appends) is folded into the span histograms —
+// and, when request logging is configured, emitted as one structured
+// log line.
 func (d *Daemon) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /ingest", d.guard(func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /ingest", d.instrument("ingest", d.guard(func(w http.ResponseWriter, r *http.Request) {
 		var req ingestRequest
 		if !decode(w, r, &req) {
 			return
 		}
-		res, err := d.Ingest(req.SQL, req.WeightScale)
+		res, err := d.Ingest(r.Context(), req.SQL, req.WeightScale)
 		d.reply(w, res, err)
-	}))
-	mux.HandleFunc("POST /whatif", func(w http.ResponseWriter, r *http.Request) {
+	})))
+	mux.HandleFunc("POST /whatif", d.instrument("whatif", func(w http.ResponseWriter, r *http.Request) {
 		var req whatIfRequest
 		if !decode(w, r, &req) {
 			return
@@ -89,8 +99,8 @@ func (d *Daemon) Handler() http.Handler {
 		}
 		res, err := d.WhatIf(req.SQL, indexes)
 		d.reply(w, res, err)
-	})
-	mux.HandleFunc("POST /recommend", d.guard(func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("POST /recommend", d.instrument("recommend", d.guard(func(w http.ResponseWriter, r *http.Request) {
 		var req RecommendOptions
 		if !decode(w, r, &req) {
 			return
@@ -106,22 +116,26 @@ func (d *Daemon) Handler() http.Handler {
 		}
 		res, err := d.Recommend(ctx, req)
 		d.reply(w, res, err)
-	}))
-	mux.HandleFunc("POST /snapshot", d.guard(func(w http.ResponseWriter, r *http.Request) {
+	})))
+	mux.HandleFunc("POST /snapshot", d.instrument("snapshot", d.guard(func(w http.ResponseWriter, r *http.Request) {
 		// Admin: force a durable snapshot now (before a deploy, after a
 		// bulk load) instead of waiting for the periodic one.
 		res, err := d.WriteSnapshot(r.Context())
 		d.reply(w, res, err)
-	}))
-	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+	})))
+	mux.HandleFunc("GET /stats", d.instrument("stats", func(w http.ResponseWriter, r *http.Request) {
 		d.reply(w, d.Snapshot(), nil)
-	})
+	}))
+	mux.HandleFunc("GET /metrics", d.instrument("metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = d.reg.WritePrometheus(w)
+	}))
 	// /healthz speaks the serving state machine: 200 {"status":
 	// "healthy"} when fully serving; 503 with "degraded" (plus the
 	// cause) while the data directory is failing and mutations are
 	// refused; 503 with "draining" during shutdown so load balancers
 	// stop routing here before the listener closes.
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /healthz", d.instrument("healthz", func(w http.ResponseWriter, r *http.Request) {
 		state, cause := d.Health()
 		code := http.StatusOK
 		if state != "healthy" {
@@ -134,8 +148,62 @@ func (d *Daemon) Handler() http.Handler {
 			Status string `json:"status"`
 			Cause  string `json:"cause,omitempty"`
 		}{Status: state, Cause: cause})
-	})
+	}))
 	return mux
+}
+
+// statusWriter captures the response status for the request metrics
+// and log line.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.code = code
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+// instrument is the tracing middleware: it mints a trace for the
+// request, propagates it through the context (the solver layers record
+// their spans onto it), echoes its ID in the X-Trace-Id header, and on
+// completion folds the request into the per-endpoint latency histogram
+// and request counter and the trace's spans into the span histograms.
+// It wraps OUTSIDE the auth guard, so rejected requests are measured
+// too.
+func (d *Daemon) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	hist := d.reg.Histogram("cophyd_http_request_seconds", helpHTTPSeconds, obs.L("endpoint", endpoint))
+	return func(w http.ResponseWriter, r *http.Request) {
+		tr := obs.NewTrace()
+		r = r.WithContext(obs.WithTrace(r.Context(), tr))
+		w.Header().Set("X-Trace-Id", tr.ID)
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		dur := time.Since(tr.Start)
+		hist.Observe(dur)
+		d.reg.Counter("cophyd_http_requests_total", helpHTTPRequests,
+			obs.L("endpoint", endpoint), obs.L("code", strconv.Itoa(sw.code))).Inc()
+		spans := tr.Spans()
+		for _, sp := range spans {
+			d.reg.Histogram("cophyd_span_seconds", helpSpanSeconds, obs.L("span", sp.Name)).Observe(sp.Dur)
+		}
+		if d.reqLog != nil {
+			attrs := []any{
+				slog.String("trace_id", tr.ID),
+				slog.String("endpoint", endpoint),
+				slog.Int("status", sw.code),
+				slog.Duration("dur", dur),
+			}
+			spanAttrs := make([]any, 0, len(spans))
+			for _, sp := range spans {
+				spanAttrs = append(spanAttrs, slog.Duration(sp.Name, sp.Dur))
+			}
+			if len(spanAttrs) > 0 {
+				attrs = append(attrs, slog.Group("spans", spanAttrs...))
+			}
+			d.reqLog.Info("request", attrs...)
+		}
+	}
 }
 
 // guard wraps a mutating handler with the optional bearer-token check

@@ -1,0 +1,112 @@
+package server
+
+import (
+	"repro/internal/obs"
+)
+
+// registerMetrics builds the daemon's metric set on a fresh registry
+// and assigns the counter handles the rest of the package mutates.
+// Every /stats field reads the same registered value /metrics exposes —
+// one source of truth, so the two views can never disagree. Derived
+// values another subsystem already maintains (the stream's clocks, the
+// INUM cache size, the admission queue depth, the store's disk errors)
+// are registered as closures read at exposition time instead of being
+// double-counted.
+//
+// Called from New after the stream and admission queue exist but
+// before recovery (recovery re-seeds the ingested counter via Store).
+func (d *Daemon) registerMetrics(reg *obs.Registry) {
+	d.reg = reg
+
+	d.ingested = reg.Counter("cophyd_ingested_statements_total",
+		"Statements folded into the live workload by /ingest.")
+	d.whatifs = reg.Counter("cophyd_whatifs_total",
+		"Hypothetical costings answered by /whatif.")
+	d.recommends = reg.Counter("cophyd_recommends_total",
+		"Recommendations solved (coalesced followers excluded).")
+	d.coalesced = reg.Counter("cophyd_coalesced_requests_total",
+		"Recommendation requests that shared another request's solve.")
+	d.evicted = reg.Counter("cophyd_evicted_entries_total",
+		"INUM cache entries dropped by stream eviction.")
+	d.numFallbacks = reg.Counter("cophyd_numeric_fallbacks_total",
+		"LP solves rescued by the dense oracle after a numerical failure.")
+	d.warmDowngrades = reg.Counter("cophyd_warm_downgrades_total",
+		"Warm LP bases numerically defeated into cold installs.")
+	d.rebases = reg.Counter("cophyd_session_rebases_total",
+		"Cold re-sessions forced by the candidate cap.")
+	d.compactions = reg.Counter("cophyd_session_compactions_total",
+		"Warm session rebases onto the live candidate set.")
+	d.walRecords = reg.Counter("cophyd_wal_records_total",
+		"Records appended to the write-ahead log.")
+	d.snapshots = reg.Counter("cophyd_snapshots_total",
+		"Durable snapshots written.")
+	d.persistErrors = reg.Counter("cophyd_persist_errors_total",
+		"Failed durability-layer writes.")
+	d.degradedEntries = reg.Counter("cophyd_degraded_entries_total",
+		"Healthy-to-degraded transitions over the daemon's lifetime.")
+
+	// The admission queue's shed counter and the solve-latency histogram
+	// (the basis of 429 Retry-After) live on the queue itself; register
+	// them here so they share the exposition.
+	d.adm.shed = reg.Counter("cophyd_shed_requests_total",
+		"Recommendation requests refused with 429 by the admission queue.")
+	d.adm.solveHist = reg.Histogram("cophyd_solve_seconds",
+		"In-slot recommendation wall time: candidate generation plus solve.")
+
+	// Derived views: read at exposition time from their owners.
+	reg.GaugeFunc("cophyd_live_statements",
+		"Distinct statements in the live workload.",
+		func() float64 { return float64(d.stream.Len()) })
+	reg.GaugeFunc("cophyd_live_weight",
+		"Total decayed weight of the live workload.",
+		func() float64 { return d.stream.LiveWeight() })
+	reg.CounterFunc("cophyd_observed_statements_total",
+		"Lifetime statements observed by the stream.",
+		func() float64 { return float64(d.stream.Observed()) })
+	reg.CounterFunc("cophyd_decay_ticks_total",
+		"Decay clock ticks (one per ingest batch).",
+		func() float64 { return float64(d.stream.Ticks()) })
+	reg.GaugeFunc("cophyd_queue_depth",
+		"Recommendation requests waiting for the session right now.",
+		func() float64 { return float64(d.adm.depth.Load()) })
+	reg.GaugeFunc("cophyd_queue_peak",
+		"High-water mark of the admission queue depth.",
+		func() float64 { return float64(d.adm.peak.Load()) })
+	reg.GaugeFunc("cophyd_prepared_queries",
+		"Statements with template plans in the INUM cache.",
+		func() float64 { return float64(d.ad.Inum.Prepared()) })
+	reg.CounterFunc("cophyd_inum_prep_calls_total",
+		"INUM preparation calls (optimizer invocations saved show up as a plateau).",
+		func() float64 { calls, _ := d.ad.Inum.PrepStats(); return float64(calls) })
+	reg.CounterFunc("cophyd_disk_errors_total",
+		"Failed filesystem operations observed by the store.",
+		func() float64 {
+			if d.store == nil {
+				return 0
+			}
+			return float64(d.store.DiskErrors())
+		})
+	for _, state := range []string{"healthy", "degraded", "draining"} {
+		state := state
+		reg.GaugeFunc("cophyd_health",
+			"Serving state (1 on the active state's series, 0 elsewhere).",
+			func() float64 {
+				if cur, _ := d.Health(); cur == state {
+					return 1
+				}
+				return 0
+			}, obs.L("state", state))
+	}
+}
+
+// Registry exposes the daemon's metric registry (the /metrics source);
+// cophybench and tests read it through WritePrometheus.
+func (d *Daemon) Registry() *obs.Registry { return d.reg }
+
+// Help strings for the per-request families created lazily by the
+// middleware (per endpoint/status) and the span fold (per span name).
+const (
+	helpHTTPSeconds  = "End-to-end request latency by endpoint."
+	helpHTTPRequests = "Requests served, by endpoint and status code."
+	helpSpanSeconds  = "Time spent inside a named request span (queue waits, solver phases, WAL appends)."
+)

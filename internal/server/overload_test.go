@@ -313,7 +313,7 @@ func TestDegradedStateMachine(t *testing.T) {
 	ffs.Fail(persist.FaultRule{Op: persist.OpWrite})
 	ffs.Fail(persist.FaultRule{Op: persist.OpTruncate})
 	ffs.Fail(persist.FaultRule{Op: persist.OpOpen})
-	if _, err := d.Ingest("SELECT l_tax FROM lineitem WHERE l_tax > :0.5;", 0); !errors.Is(err, ErrPersist) {
+	if _, err := d.Ingest(context.Background(), "SELECT l_tax FROM lineitem WHERE l_tax > :0.5;", 0); !errors.Is(err, ErrPersist) {
 		t.Fatalf("ingest on a dead disk returned %v, want ErrPersist", err)
 	}
 
@@ -321,7 +321,7 @@ func TestDegradedStateMachine(t *testing.T) {
 	if state, cause := d.Health(); state != "degraded" || cause == "" {
 		t.Fatalf("health after disk death: %s (%q)", state, cause)
 	}
-	if _, err := d.Ingest("SELECT l_tax FROM lineitem WHERE l_tax > :0.5;", 0); !errors.Is(err, ErrDegraded) {
+	if _, err := d.Ingest(context.Background(), "SELECT l_tax FROM lineitem WHERE l_tax > :0.5;", 0); !errors.Is(err, ErrDegraded) {
 		t.Fatalf("degraded ingest returned %v, want ErrDegraded", err)
 	}
 	if _, err := d.Recommend(context.Background(), RecommendOptions{}); !errors.Is(err, ErrDegraded) {
@@ -369,7 +369,7 @@ func TestDegradedStateMachine(t *testing.T) {
 	// The disk heals; the probe loop must notice and reopen for writes.
 	ffs.Reset()
 	waitFor(t, "probe recovery", func() bool { s, _ := d.Health(); return s == "healthy" })
-	if _, err := d.Ingest("SELECT l_quantity FROM lineitem WHERE l_quantity > :0.7;", 0); err != nil {
+	if _, err := d.Ingest(context.Background(), "SELECT l_quantity FROM lineitem WHERE l_quantity > :0.7;", 0); err != nil {
 		t.Fatalf("post-recovery ingest: %v", err)
 	}
 	if st := d.Snapshot(); st.Health != "healthy" || st.DegradedCause != "" {

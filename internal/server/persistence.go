@@ -10,6 +10,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/cophy"
 	"repro/internal/lagrange"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -108,7 +109,7 @@ func (d *Daemon) recover() error {
 			}
 			switch r.Type {
 			case "ingest":
-				if _, err := d.applyIngest(r.SQL, r.Scale, false); err != nil {
+				if _, err := d.applyIngest(context.Background(), r.SQL, r.Scale, false); err != nil {
 					return fmt.Errorf("server: replaying ingest: %w", err)
 				}
 			case "session":
@@ -175,17 +176,18 @@ func (d *Daemon) consFor(budgetFraction float64) cophy.Constraints {
 // immediate tail repair, so a failure surfacing here means the data
 // directory is genuinely refusing writes and further mutations must
 // be refused until the probe loop finds it writable again.
-func (d *Daemon) appendWAL(r walRecord) error {
+func (d *Daemon) appendWAL(ctx context.Context, r walRecord) error {
+	defer obs.TraceFrom(ctx).StartSpan("wal.append")()
 	raw, err := json.Marshal(r)
 	if err == nil {
 		err = d.store.Append(raw)
 	}
 	if err != nil {
-		d.persistErrors.Add(1)
+		d.persistErrors.Inc()
 		d.enterDegraded(err)
 		return fmt.Errorf("%w: %v", ErrPersist, err)
 	}
-	d.walRecords.Add(1)
+	d.walRecords.Inc()
 	return nil
 }
 

@@ -236,7 +236,7 @@ func TestReplayOverEviction(t *testing.T) {
 	}
 	// The ID allocator must not reuse the dead IDs either.
 	fresh := workload.Hom(workload.HomConfig{Queries: 1, Seed: 55})
-	res, err := d2.Ingest(renderSQL(fresh), 0)
+	res, err := d2.Ingest(context.Background(), renderSQL(fresh), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -305,7 +305,7 @@ func TestSnapshotWhileIngesting(t *testing.T) {
 			var accepted int64
 			for i := 0; i < loops; i++ {
 				w := workload.Hom(workload.HomConfig{Queries: 2, Seed: int64(g*1000 + i)})
-				res, err := d1.Ingest(renderSQL(w), 0)
+				res, err := d1.Ingest(context.Background(), renderSQL(w), 0)
 				if err != nil {
 					t.Error(err)
 					break

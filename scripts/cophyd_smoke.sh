@@ -89,6 +89,17 @@ EOF
 STATS=$(curl -fsS "$BASE/stats")
 echo "$STATS" | grep -q '"recommends": 2' || fail "stats should count 2 recommends" "$STATS"
 
+# /metrics: the Prometheus exposition must agree with /stats (the
+# counters share one registry) and carry the per-endpoint and per-span
+# histograms the requests above fed.
+CT=$(curl -fsS -o /dev/null -w '%{content_type}' "$BASE/metrics")
+case "$CT" in text/plain\;*version=0.0.4*) ;; *) fail "/metrics content type is $CT, want the Prometheus text format" "";; esac
+METRICS=$(curl -fsS "$BASE/metrics")
+echo "$METRICS" | grep -q '^cophyd_recommends_total 2$' || fail "/metrics should count 2 recommends like /stats" "$METRICS"
+echo "$METRICS" | grep -q 'cophyd_http_request_seconds_count{endpoint="recommend"} 2' || fail "/metrics is missing the recommend latency histogram" "$METRICS"
+echo "$METRICS" | grep -q 'cophyd_span_seconds_count{span="solve"}' || fail "/metrics is missing the solve span histogram" "$METRICS"
+echo "$METRICS" | grep -q 'cophyd_health{state="healthy"} 1' || fail "/metrics should report the healthy state gauge" "$METRICS"
+
 kill $PID 2>/dev/null || true
 
 # --- Durability phase: kill -9 mid-run, restart from -data-dir, and
