@@ -1,0 +1,61 @@
+package catalog
+
+import "math"
+
+// fnv64 accumulates FNV-1a over raw bytes.
+type fnv64 uint64
+
+const (
+	fnvOffset64 fnv64 = 14695981039346656037
+	fnvPrime64  fnv64 = 1099511628211
+)
+
+func (h fnv64) str(s string) fnv64 {
+	for i := 0; i < len(s); i++ {
+		h ^= fnv64(s[i])
+		h *= fnvPrime64
+	}
+	// Separator byte so concatenated fields cannot alias.
+	h ^= 0xff
+	h *= fnvPrime64
+	return h
+}
+
+func (h fnv64) u64(v uint64) fnv64 {
+	for i := 0; i < 8; i++ {
+		h ^= fnv64(v & 0xff)
+		h *= fnvPrime64
+		v >>= 8
+	}
+	return h
+}
+
+func (h fnv64) f64(v float64) fnv64 { return h.u64(math.Float64bits(v)) }
+
+// Hash returns a stable digest of everything the cost model reads from
+// the catalog: table cardinalities, column statistics (type, width,
+// NDV, and full histogram contents), and primary keys. Any change to
+// the hash invalidates derived artifacts such as persisted template
+// plans.
+func (c *Catalog) Hash() uint64 {
+	h := fnvOffset64
+	for _, t := range c.ordered {
+		h = h.str(t.Name).u64(uint64(t.Rows))
+		for _, pk := range t.PK {
+			h = h.str(pk)
+		}
+		for _, col := range t.Cols {
+			h = h.str(col.Name).u64(uint64(col.Type)).u64(uint64(col.Width)).u64(uint64(col.NDV))
+			if col.Hist != nil {
+				h = h.f64(col.Hist.topFrac).f64(col.Hist.eqSel)
+				for _, f := range col.Hist.frac {
+					h = h.f64(f)
+				}
+				for _, f := range col.Hist.cum {
+					h = h.f64(f)
+				}
+			}
+		}
+	}
+	return uint64(h)
+}

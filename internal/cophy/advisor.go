@@ -406,7 +406,7 @@ func (se *Session) SolveCtx(ctx context.Context) (*Result, error) {
 	inst := ad.instance(se.w, se.s)
 
 	t0 := time.Now()
-	ad.Inum.Prepare(se.w)
+	ad.Inum.PrepareCtx(ctx, se.w)
 	inumTime := time.Since(t0)
 	if err := ctx.Err(); err != nil {
 		return nil, err

@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"math"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/catalog"
@@ -19,6 +20,14 @@ type Engine struct {
 
 	whatIfCalls atomic.Int64
 	slotCalls   atomic.Int64
+
+	// memoPools recycles join-DP scratch per table count (index = number
+	// of tables, capped by checkOptimizable). Reused memos keep their
+	// slice capacities and the engine-scoped sort-cost cache, so a
+	// workload's derivations stop paying allocation and GC for the DP
+	// tables. Safe because the catalog and profile are immutable after
+	// construction.
+	memoPools [13]sync.Pool
 }
 
 // New returns an engine over the catalog with the given cost profile.
@@ -81,39 +90,149 @@ func (e *Engine) TemplatePlan(q *workload.Query, cfg *Config, forced map[string]
 	return e.optimize(q, cfg, forced, true)
 }
 
-// optimize runs access-path selection, join ordering and finalization.
-func (e *Engine) optimize(q *workload.Query, cfg *Config, forced map[string][]string, templateMode bool) (*Plan, error) {
+// TemplateCtx carries the derivation state shared across the many
+// TemplatePlan calls one template extraction makes for a single query
+// under a single configuration: access paths, join conditions, lookup
+// leaves and sort wrappers are all independent of the forced-order map
+// and are computed once instead of once per call. A TemplateCtx is not
+// safe for concurrent use; derive each query on one goroutine.
+type TemplateCtx struct {
+	e    *Engine
+	memo *joinMemo
+	err  error
+}
+
+// NewTemplateCtx prepares a derivation context for q under cfg.
+func (e *Engine) NewTemplateCtx(q *workload.Query, cfg *Config) *TemplateCtx {
+	tc := &TemplateCtx{e: e}
+	if err := checkOptimizable(q); err != nil {
+		tc.err = err
+		return tc
+	}
+	tc.memo = e.getMemo(q, cfg)
+	return tc
+}
+
+// TemplatePlan runs one template-mode optimization against the shared
+// context. It counts as a what-if optimizer call, exactly like
+// Engine.TemplatePlan.
+func (tc *TemplateCtx) TemplatePlan(forced map[string][]string) (*Plan, error) {
+	tc.e.whatIfCalls.Add(1)
+	if tc.err != nil {
+		return nil, tc.err
+	}
+	if tc.memo == nil {
+		return nil, fmt.Errorf("engine: TemplateCtx used after Close")
+	}
+	return tc.e.optimizeMemo(tc.memo, forced, true)
+}
+
+// Close recycles the context's derivation scratch. Call it once no
+// further TemplatePlan calls will be made; plans already returned
+// remain valid.
+func (tc *TemplateCtx) Close() {
+	if tc.memo != nil {
+		tc.e.putMemo(tc.memo)
+		tc.memo = nil
+	}
+}
+
+func checkOptimizable(q *workload.Query) error {
 	if len(q.Tables) == 0 {
-		return nil, fmt.Errorf("engine: query %s references no tables", q.ID)
+		return fmt.Errorf("engine: query %s references no tables", q.ID)
 	}
 	if len(q.Tables) > 12 {
-		return nil, fmt.Errorf("engine: query %s joins %d tables; limit is 12", q.ID, len(q.Tables))
+		return fmt.Errorf("engine: query %s joins %d tables; limit is 12", q.ID, len(q.Tables))
 	}
-	entries := e.optimizeJoin(q, cfg, forced, templateMode)
-	if len(entries) == 0 {
-		return nil, fmt.Errorf("engine: no plan for query %s under forced orders", q.ID)
+	return nil
+}
+
+// optimize runs access-path selection, join ordering and finalization.
+func (e *Engine) optimize(q *workload.Query, cfg *Config, forced map[string][]string, templateMode bool) (*Plan, error) {
+	if err := checkOptimizable(q); err != nil {
+		return nil, err
 	}
-	var best *PlanNode
-	for _, entry := range entries {
-		fin := e.finalize(q, entry)
-		if best == nil || fin.Cost < best.Cost {
-			best = fin
+	m := e.getMemo(q, cfg)
+	p, err := e.optimizeMemo(m, forced, templateMode)
+	e.putMemo(m)
+	return p, err
+}
+
+// optimizeMemo is the memo-sharing core of optimize: join ordering
+// over the context's cached inputs, then finalization of the cheapest
+// entry. Finalized costs are computed arithmetically for every entry
+// (finalizeCost) and only the winner's operator nodes are built.
+func (e *Engine) optimizeMemo(m *joinMemo, forced map[string][]string, templateMode bool) (*Plan, error) {
+	full := e.optimizeJoin(m, forced, templateMode)
+	if full == nil {
+		return nil, fmt.Errorf("engine: no plan for query %s under forced orders", m.q.ID)
+	}
+	bi := -1
+	var bestCost float64
+	for i := range full.ents {
+		en := &full.ents[i]
+		fc := e.finalizeCost(m, en.cost, en.rows, en.width, en.order)
+		if bi < 0 || fc < bestCost {
+			bi, bestCost = i, fc
 		}
 	}
-	return &Plan{Root: best, Cost: best.Cost}, nil
+	root := m.materialize((1<<len(m.tables))-1, bi)
+	fin := e.finalize(m, root)
+	return &Plan{Root: fin, Cost: fin.Cost}, nil
+}
+
+// finalizeCost prices finalize over a join result given only its
+// scalars (cost, cardinality, width, delivered order), without building
+// any operator node — the allocation gate for the per-entry argmin in
+// optimizeMemo. Every arithmetic step mirrors finalize exactly (same
+// operations in the same association order), which
+// TestFinalizeCostMatchesFinalize pins bit-for-bit.
+func (e *Engine) finalizeCost(m *joinMemo, cost, rows, width float64, order []string) float64 {
+	p := e.Prof
+	q := m.q
+	groupOrder, orderBy := m.finalOrders()
+
+	if len(q.GroupBy) > 0 {
+		groups := m.groupRowsFor(rows)
+		if satisfiesOrder(order, groupOrder) {
+			cost += rows * p.CPUOperatorCost
+		} else {
+			hashSelf := rows*p.CPUOperatorCost*2*p.HashFudge + groups*p.CPUOperatorCost
+			if pages := groups * width / PageSizeF; pages > float64(p.MemoryPages) {
+				hashSelf += pages * 2 * p.SeqPageCost
+			}
+			sortedCost := cost + m.sortCostFor(rows, width)
+			streamSelf := rows * p.CPUOperatorCost
+			if cost+hashSelf <= sortedCost+streamSelf {
+				cost += hashSelf
+				order = nil
+			} else {
+				cost = sortedCost + streamSelf
+				order = groupOrder
+			}
+		}
+		rows = groups
+	} else if q.Aggregate {
+		cost += rows * p.CPUOperatorCost
+		rows = 1
+		order = nil
+	}
+
+	if len(q.OrderBy) > 0 && !satisfiesOrder(order, orderBy) {
+		cost += m.sortCostFor(rows, width)
+	}
+	return cost
 }
 
 // finalize applies grouping, aggregation and ordering on top of a join
 // result.
-func (e *Engine) finalize(q *workload.Query, root *PlanNode) *PlanNode {
+func (e *Engine) finalize(m *joinMemo, root *PlanNode) *PlanNode {
 	p := e.Prof
+	q := m.q
+	groupOrder, orderBy := m.finalOrders()
 
 	if len(q.GroupBy) > 0 {
-		groupOrder := make([]string, len(q.GroupBy))
-		for i, g := range q.GroupBy {
-			groupOrder[i] = g.String()
-		}
-		groups := e.groupRows(root.Rows, q.GroupBy)
+		groups := m.groupRowsFor(root.Rows)
 		if satisfiesOrder(root.Order, groupOrder) {
 			agg := &PlanNode{
 				Op: OpStreamAgg, Children: []*PlanNode{root},
@@ -158,14 +277,8 @@ func (e *Engine) finalize(q *workload.Query, root *PlanNode) *PlanNode {
 		root = agg
 	}
 
-	if len(q.OrderBy) > 0 {
-		required := make([]string, len(q.OrderBy))
-		for i, o := range q.OrderBy {
-			required[i] = o.String()
-		}
-		if !satisfiesOrder(root.Order, required) {
-			root = e.sortNode(root, required)
-		}
+	if len(q.OrderBy) > 0 && !satisfiesOrder(root.Order, orderBy) {
+		root = e.sortNode(root, orderBy)
 	}
 	return root
 }

@@ -1,0 +1,134 @@
+package engine
+
+import (
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/workload"
+)
+
+// CostModelVersion stamps the derivation semantics of this engine:
+// bump it whenever a change to the cost model, the join DP, or the
+// template-extraction rules can alter the templates derived for a
+// query. Persisted plan payloads carry the stamp and are silently
+// re-derived when it no longer matches.
+const CostModelVersion = 1
+
+// ShapeFingerprint canonically identifies everything the template
+// derivation consumes from a query: the join graph, the projected and
+// referenced columns, grouping/ordering/aggregation structure, and —
+// with constants abstracted away — each predicate's (column, operator,
+// selectivity) triple. Two queries with equal fingerprints are
+// indistinguishable to buildTemplates: the derivation reads predicates
+// only through predSel, operator kinds, and list position, so equal
+// fingerprints guarantee bit-identical template plans.
+//
+// Constants are abstracted by recording the float64 bits of the
+// estimated selectivity rather than the literal bounds: two statements
+// instantiated from the same template share a fingerprint exactly when
+// the histograms price their constants identically.
+func (e *Engine) ShapeFingerprint(q *workload.Query) string {
+	var b strings.Builder
+	b.Grow(256)
+
+	b.WriteString("t:")
+	for i, t := range q.Tables {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(t)
+	}
+
+	b.WriteString("|s:")
+	for i, c := range q.Select {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(c.Table)
+		b.WriteByte('.')
+		b.WriteString(c.Column)
+	}
+
+	b.WriteString("|j:")
+	for i, j := range q.Joins {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(j.Left.Table)
+		b.WriteByte('.')
+		b.WriteString(j.Left.Column)
+		b.WriteByte('=')
+		b.WriteString(j.Right.Table)
+		b.WriteByte('.')
+		b.WriteString(j.Right.Column)
+	}
+
+	b.WriteString("|g:")
+	for i, g := range q.GroupBy {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(g.Table)
+		b.WriteByte('.')
+		b.WriteString(g.Column)
+	}
+
+	b.WriteString("|o:")
+	for i, o := range q.OrderBy {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(o.Table)
+		b.WriteByte('.')
+		b.WriteString(o.Column)
+	}
+
+	if q.Aggregate {
+		b.WriteString("|a:1")
+	} else {
+		b.WriteString("|a:0")
+	}
+
+	// Predicates in list order: localSel and prefixSel consume them in
+	// this order, so position is part of the derivation input.
+	b.WriteString("|p:")
+	for i, p := range q.Preds {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString(p.Col.Table)
+		b.WriteByte('.')
+		b.WriteString(p.Col.Column)
+		b.WriteByte(':')
+		b.WriteString(strconv.Itoa(int(p.Op)))
+		b.WriteByte(':')
+		b.WriteString(strconv.FormatUint(math.Float64bits(e.predSel(p)), 16))
+	}
+
+	return b.String()
+}
+
+// PlanStamp identifies the derivation environment: the catalog
+// contents, the cost profile, and the cost-model version. Persisted
+// template plans are valid only under the exact stamp they were
+// derived with.
+func (e *Engine) PlanStamp() string {
+	var b strings.Builder
+	b.WriteString("cat:")
+	b.WriteString(strconv.FormatUint(e.Cat.Hash(), 16))
+	b.WriteString("|model:")
+	b.WriteString(strconv.Itoa(CostModelVersion))
+	b.WriteString("|prof:")
+	p := e.Prof
+	b.WriteString(p.Name)
+	for _, f := range []float64{
+		p.SeqPageCost, p.RandPageCost, p.CPUTupleCost, p.CPUIndexTupleCost,
+		p.CPUOperatorCost, float64(p.MemoryPages), p.HashFudge, p.NLFudge,
+		p.SortFudge, p.Correlation,
+	} {
+		b.WriteByte(',')
+		b.WriteString(strconv.FormatUint(math.Float64bits(f), 16))
+	}
+	return b.String()
+}

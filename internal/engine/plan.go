@@ -116,6 +116,10 @@ type PlanNode struct {
 
 	// okey memoizes orderKey(Order); cleared whenever Order changes.
 	okey string
+	// sortCost memoizes sortSelfCost(Rows, Width) for access-path nodes
+	// shared across a derivation (see Engine.pathSortCost).
+	sortCost   float64
+	sortCostOK bool
 }
 
 // key returns the node's memoized DP order key.

@@ -126,6 +126,39 @@ func BenchInum() ([]BenchResult, error) {
 			c.Prepare(e.w)
 		}
 	})))
+
+	// INUMPrepareWarmShape: the repeated-template regime the shape
+	// cache exists for. The workload holds each query under four
+	// statement IDs — distinct statements, identical shapes — so a cold
+	// prepare derives one quarter of the statements and serves the rest
+	// from the shape cache.
+	warm := &workload.Workload{}
+	for _, st := range e.w.Queries() {
+		for k := 0; k < 4; k++ {
+			q := *st.Query
+			q.ID = fmt.Sprintf("%s#%d", st.Query.ID, k)
+			warm.Statements = append(warm.Statements, &workload.Statement{Query: &q, Weight: st.Weight})
+		}
+	}
+	out = append(out, toResult("INUMPrepareWarmShape", testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c := inum.New(e.eng)
+			c.Prepare(warm)
+		}
+	})))
+
+	// RestartRecovery: the post-restart warm path — import the
+	// persisted shape records and re-prepare the full workload. With a
+	// valid payload this performs zero TemplatePlan derivations, so it
+	// measures exactly what a recovered daemon pays before serving warm.
+	recs := e.cache.ExportShapes()
+	out = append(out, toResult("RestartRecovery", testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c := inum.New(e.eng)
+			c.ImportShapes(recs)
+			c.Prepare(e.w)
+		}
+	})))
 	return out, nil
 }
 

@@ -12,16 +12,20 @@
 package inum
 
 import (
+	"context"
 	"fmt"
 	"math"
-	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/par"
 	"repro/internal/workload"
 )
 
@@ -40,28 +44,31 @@ const (
 // Slot is one access-method hole of a template plan.
 type Slot struct {
 	// Table is the accessed table.
-	Table string
+	Table string `json:"table"`
 	// Mode is the access style.
-	Mode SlotMode
+	Mode SlotMode `json:"mode"`
 	// RequiredOrder is the qualified sort order the slot must deliver
 	// (scan slots only; empty means any access works).
-	RequiredOrder []string
+	RequiredOrder []string `json:"required_order,omitempty"`
 	// JoinCol is the probed column (lookup slots only).
-	JoinCol string
+	JoinCol string `json:"join_col,omitempty"`
 	// Lookups is the probe multiplicity (lookup slots only).
-	Lookups float64
+	Lookups float64 `json:"lookups,omitempty"`
 	// NeedCols are the columns of Table the query touches; they decide
 	// whether an index is covering in this slot.
-	NeedCols []string
+	NeedCols []string `json:"need_cols,omitempty"`
 }
 
 // Template is one cached template plan: the internal (non-leaf) cost β
-// plus the slots that access methods plug into.
+// plus the slots that access methods plug into. Templates are immutable
+// once published and may be shared by every prepared statement of the
+// same shape; the exported fields round-trip through JSON for the
+// snapshot's plan payload.
 type Template struct {
 	// Internal is β: the execution cost of the internal operators.
-	Internal float64
+	Internal float64 `json:"internal"`
 	// Slots lists the access-method holes, one per referenced table.
-	Slots []Slot
+	Slots []Slot `json:"slots"`
 
 	// sig memoizes signature(); templates are immutable once built.
 	sig string
@@ -69,16 +76,50 @@ type Template struct {
 
 // signature canonically identifies the template's slot structure.
 func (t *Template) signature() string {
-	if t.sig != "" {
-		return t.sig
+	if t.sig == "" {
+		t.sig = string(t.appendSig(make([]byte, 0, 128)))
 	}
-	parts := make([]string, len(t.Slots))
-	for i, s := range t.Slots {
-		parts[i] = fmt.Sprintf("%s/%d/%s/%s/%.0f", s.Table, s.Mode, strings.Join(s.RequiredOrder, "+"), s.JoinCol, s.Lookups)
-	}
-	sort.Strings(parts)
-	t.sig = strings.Join(parts, ";") + fmt.Sprintf("|%.3f", t.Internal)
 	return t.sig
+}
+
+// appendSig appends the signature bytes to buf, letting callers that
+// only compare signatures avoid the string conversion.
+func (t *Template) appendSig(buf []byte) []byte {
+	// Slots hold one table each, so ordering by table canonicalizes the
+	// signature; the slot count is tiny, so selection-order directly.
+	var idx [16]int
+	order := idx[:0]
+	for i := range t.Slots {
+		order = append(order, i)
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && t.Slots[order[j]].Table < t.Slots[order[j-1]].Table; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	for k, i := range order {
+		if k > 0 {
+			buf = append(buf, ';')
+		}
+		s := &t.Slots[i]
+		buf = append(buf, s.Table...)
+		buf = append(buf, '/')
+		buf = strconv.AppendInt(buf, int64(s.Mode), 10)
+		buf = append(buf, '/')
+		for j, c := range s.RequiredOrder {
+			if j > 0 {
+				buf = append(buf, '+')
+			}
+			buf = append(buf, c...)
+		}
+		buf = append(buf, '/')
+		buf = append(buf, s.JoinCol...)
+		buf = append(buf, '/')
+		buf = strconv.AppendFloat(buf, s.Lookups, 'f', 0, 64)
+	}
+	buf = append(buf, '|')
+	buf = strconv.AppendFloat(buf, t.Internal, 'f', 3, 64)
+	return buf
 }
 
 // QueryInfo is the INUM cache entry for one query: its template plans
@@ -100,10 +141,21 @@ type gammaKey struct {
 // use: the query map is striped into shards keyed by a hash of the
 // query ID, so concurrent PrepareQuery/Info calls on different queries
 // do not serialize on one lock.
+//
+// The cache is two-level. The outer level maps statement IDs to
+// QueryInfo entries (per-statement γ memos). The inner level maps shape
+// fingerprints (engine.ShapeFingerprint) to derived template sets, so
+// statements that differ only in constants the histograms price
+// identically share one derivation: the second and later statements of
+// a shape skip every what-if optimizer call.
 type Cache struct {
 	Eng *engine.Engine
 
-	shards []cacheShard
+	shards      []cacheShard
+	shapeShards []shapeShard
+
+	shapeHits   atomic.Int64
+	shapeMisses atomic.Int64
 
 	// statMu guards the prep counters below.
 	statMu sync.Mutex
@@ -130,6 +182,32 @@ type cacheShard struct {
 	_       [48]byte
 }
 
+// shapeShard is one stripe of the shape → templates map. Entries are
+// inserted before derivation starts (singleflight): the first goroutine
+// to claim a fingerprint derives the templates while later arrivals
+// block on ready, so a burst of same-shape statements costs exactly one
+// set of optimizer calls.
+type shapeShard struct {
+	mu     sync.Mutex
+	shapes map[string]*shapeEntry
+	// order tracks insertion order for FIFO eviction.
+	order []string
+	_     [24]byte
+}
+
+// shapeEntry is one shape-cache slot. templates is written once, before
+// ready closes, and never mutated after.
+type shapeEntry struct {
+	ready     chan struct{}
+	templates []*Template
+}
+
+// shapeCapPerShard bounds each stripe (so the whole cache holds at most
+// shards×cap shapes, ~4096 at the default stripe count). Eviction is
+// FIFO and skips entries still being derived, so a long-running
+// derivation can never be yanked out from under its waiters.
+const shapeCapPerShard = 64
+
 // defaultShards is the stripe count: comfortably above typical core
 // counts so cache-hit lookups under a parallel what-if load rarely
 // collide. Must be a power of two.
@@ -150,11 +228,13 @@ func newWithShards(eng *engine.Engine, n int) *Cache {
 	c := &Cache{
 		Eng:          eng,
 		shards:       make([]cacheShard, n),
+		shapeShards:  make([]shapeShard, n),
 		MaxTemplates: 10,
 		MaxCombos:    48,
 	}
 	for i := range c.shards {
 		c.shards[i].queries = make(map[string]*QueryInfo)
+		c.shapeShards[i].shapes = make(map[string]*shapeEntry)
 	}
 	return c
 }
@@ -193,30 +273,70 @@ func (c *Cache) shard(id string) *cacheShard {
 	return &c.shards[h&uint64(len(c.shards)-1)]
 }
 
+// shapeShardOf returns the stripe owning the fingerprint (FNV-1a).
+func (c *Cache) shapeShardOf(fp string) *shapeShard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(fp); i++ {
+		h ^= uint64(fp[i])
+		h *= prime64
+	}
+	return &c.shapeShards[h&uint64(len(c.shapeShards)-1)]
+}
+
+// ShapeStats returns the shape-cache hit/miss counters. A hit means a
+// statement's entire template derivation was skipped.
+func (c *Cache) ShapeStats() (hits, misses int64) {
+	return c.shapeHits.Load(), c.shapeMisses.Load()
+}
+
+// ShapeCount returns the number of fully derived shapes cached across
+// all stripes.
+func (c *Cache) ShapeCount() int {
+	n := 0
+	for i := range c.shapeShards {
+		ss := &c.shapeShards[i]
+		ss.mu.Lock()
+		for _, en := range ss.shapes {
+			select {
+			case <-en.ready:
+				n++
+			default:
+			}
+		}
+		ss.mu.Unlock()
+	}
+	return n
+}
+
+// PrepareCtx is Prepare under the context's trace: the whole
+// preparation fan-out lands in one "inum.prepare" span so request
+// breakdowns show what template derivation costs (and how little it
+// costs once the shape cache is warm).
+func (c *Cache) PrepareCtx(ctx context.Context, w *workload.Workload) {
+	defer obs.TraceFrom(ctx).StartSpan("inum.prepare")()
+	c.Prepare(w)
+}
+
 // Prepare populates the cache for every query of the workload
 // (SELECT statements and update query shells), in parallel.
 func (c *Cache) Prepare(w *workload.Workload) {
 	start := time.Now()
 	queries := w.Queries()
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for _, s := range queries {
-		q := s.Query
-		wg.Add(1)
-		sem <- struct{}{}
-		go func() {
-			defer wg.Done()
-			defer func() { <-sem }()
-			c.PrepareQuery(q)
-		}()
-	}
-	wg.Wait()
+	par.For(len(queries), 0, func(i int) {
+		c.PrepareQuery(queries[i].Query)
+	})
 	c.statMu.Lock()
 	c.PrepDuration += time.Since(start)
 	c.statMu.Unlock()
 }
 
 // PrepareQuery builds (or returns) the template plans for one query.
+// Template derivation is shared through the shape cache: only the first
+// statement of each shape pays the optimizer calls.
 func (c *Cache) PrepareQuery(q *workload.Query) *QueryInfo {
 	sh := c.shard(q.ID)
 	sh.mu.Lock()
@@ -226,7 +346,11 @@ func (c *Cache) PrepareQuery(q *workload.Query) *QueryInfo {
 	}
 	sh.mu.Unlock()
 
-	qi := c.buildTemplates(q)
+	qi := &QueryInfo{
+		Query:     q,
+		Templates: c.templatesForShape(q),
+		gamma:     make(map[gammaKey]float64),
+	}
 
 	sh.mu.Lock()
 	if prior, ok := sh.queries[q.ID]; ok {
@@ -236,6 +360,120 @@ func (c *Cache) PrepareQuery(q *workload.Query) *QueryInfo {
 	sh.queries[q.ID] = qi
 	sh.mu.Unlock()
 	return qi
+}
+
+// templatesForShape returns the template set for the query's shape,
+// deriving it on first sight. Concurrent same-shape callers
+// single-flight: one derives, the rest wait on the entry.
+func (c *Cache) templatesForShape(q *workload.Query) []*Template {
+	fp := c.Eng.ShapeFingerprint(q)
+	ss := c.shapeShardOf(fp)
+	ss.mu.Lock()
+	if en, ok := ss.shapes[fp]; ok {
+		ss.mu.Unlock()
+		<-en.ready
+		c.shapeHits.Add(1)
+		return en.templates
+	}
+	en := &shapeEntry{ready: make(chan struct{})}
+	ss.insert(fp, en)
+	ss.mu.Unlock()
+	c.shapeMisses.Add(1)
+
+	// Close ready even if derivation panics, so same-shape waiters are
+	// never stranded on a dead entry.
+	defer close(en.ready)
+	en.templates = c.buildTemplates(q)
+	return en.templates
+}
+
+// insert adds an entry under the shard lock, evicting the oldest
+// completed entries FIFO when the stripe is over cap.
+func (ss *shapeShard) insert(fp string, en *shapeEntry) {
+	for len(ss.shapes) >= shapeCapPerShard && len(ss.order) > 0 {
+		evicted := false
+		for i, old := range ss.order {
+			prior, ok := ss.shapes[old]
+			if !ok {
+				ss.order = append(ss.order[:i], ss.order[i+1:]...)
+				evicted = true
+				break
+			}
+			select {
+			case <-prior.ready:
+				delete(ss.shapes, old)
+				ss.order = append(ss.order[:i], ss.order[i+1:]...)
+				evicted = true
+			default:
+				continue
+			}
+			break
+		}
+		if !evicted {
+			// Every resident entry is mid-derivation; grow past cap
+			// rather than evict one with live waiters.
+			break
+		}
+	}
+	ss.shapes[fp] = en
+	ss.order = append(ss.order, fp)
+}
+
+// ShapeRecord is the serialized form of one shape-cache entry, the unit
+// of the snapshot's plan payload.
+type ShapeRecord struct {
+	Fingerprint string      `json:"fingerprint"`
+	Templates   []*Template `json:"templates"`
+}
+
+// ExportShapes returns every fully derived shape, sorted by fingerprint
+// so snapshots are byte-stable across runs.
+func (c *Cache) ExportShapes() []ShapeRecord {
+	var out []ShapeRecord
+	for i := range c.shapeShards {
+		ss := &c.shapeShards[i]
+		ss.mu.Lock()
+		for fp, en := range ss.shapes {
+			select {
+			case <-en.ready:
+				if en.templates != nil {
+					out = append(out, ShapeRecord{Fingerprint: fp, Templates: en.templates})
+				}
+			default:
+			}
+		}
+		ss.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Fingerprint < out[j].Fingerprint })
+	return out
+}
+
+// ImportShapes seeds the shape cache from persisted records (the warm
+// half of restart recovery: statements whose shapes were imported skip
+// every optimizer call on their first Prepare). Existing entries win
+// over imports; the count of newly seeded shapes is returned.
+func (c *Cache) ImportShapes(recs []ShapeRecord) int {
+	n := 0
+	for _, r := range recs {
+		if r.Fingerprint == "" || len(r.Templates) == 0 {
+			continue
+		}
+		// Precompute signatures before publication: sig is memoized
+		// lazily and concurrent first calls would race.
+		for _, t := range r.Templates {
+			t.signature()
+		}
+		ss := c.shapeShardOf(r.Fingerprint)
+		ss.mu.Lock()
+		if _, ok := ss.shapes[r.Fingerprint]; !ok {
+			en := &shapeEntry{ready: make(chan struct{}), templates: r.Templates}
+			close(en.ready)
+			ss.insert(r.Fingerprint, en)
+			n++
+		}
+		ss.mu.Unlock()
+	}
+	return n
 }
 
 // Info returns the cache entry for a prepared query, or nil.
@@ -306,8 +544,10 @@ func interestingOrders(q *workload.Query, table string) [][]string {
 
 // buildTemplates enumerates interesting-order combinations, optimizes
 // each with forced orders, and extracts the Pareto set of templates.
-func (c *Cache) buildTemplates(q *workload.Query) *QueryInfo {
-	qi := &QueryInfo{Query: q, gamma: make(map[gammaKey]float64)}
+// The result depends only on the query's shape fingerprint, so it is
+// cached per shape and shared across same-shape statements.
+func (c *Cache) buildTemplates(q *workload.Query) []*Template {
+	qi := &QueryInfo{Query: q}
 
 	needCols := make(map[string][]string, len(q.Tables))
 	for _, t := range q.Tables {
@@ -339,12 +579,21 @@ func (c *Cache) buildTemplates(q *workload.Query) *QueryInfo {
 		}
 	}
 
-	var calls int64
+	// Extraction scratch: most combos yield a template whose signature
+	// was already seen, so plans are extracted into one reusable holder
+	// and only novel templates are cloned into the cache.
+	var (
+		calls     int64
+		scratch   Template
+		leavesBuf []*engine.PlanNode
+		sigBuf    []byte
+	)
 	addPlan := func(p *engine.Plan, forced map[string][]string) {
 		if p == nil {
 			return
 		}
-		qi.addTemplate(extract(p, forced, needCols))
+		leavesBuf = extractInto(&scratch, leavesBuf[:0], p, forced, needCols)
+		sigBuf = qi.addTemplate(&scratch, sigBuf[:0])
 	}
 
 	// Fallback template: unordered scans only; instantiable by the
@@ -359,20 +608,30 @@ func (c *Cache) buildTemplates(q *workload.Query) *QueryInfo {
 		addPlan(p, fallback)
 	}
 
+	// All remaining calls optimize the same query under the same
+	// synthetic configuration with only the forced map varying, so they
+	// share one derivation context (access paths, join conditions,
+	// lookup leaves and sort wrappers are computed once).
+	tctx := c.Eng.NewTemplateCtx(q, synth)
+	defer tctx.Close()
+
 	// Unconstrained call under the synthetic configuration.
-	if p, err := c.Eng.TemplatePlan(q, synth, nil); err == nil {
+	if p, err := tctx.TemplatePlan(nil); err == nil {
 		calls++
 		addPlan(p, nil)
 	}
 
-	// Mixed-radix walk over order combinations.
+	// Mixed-radix walk over order combinations. The forced map is
+	// reused across iterations; extract retains only the forced order
+	// slices, never the map itself.
 	combos := 1
 	for _, opts := range perTable {
 		combos *= len(opts)
 	}
 	limit := c.MaxCombos
+	forced := make(map[string][]string, len(q.Tables))
 	for ci := 1; ci < combos && ci <= limit; ci++ {
-		forced := make(map[string][]string)
+		clear(forced)
 		rest := ci
 		for i, opts := range perTable {
 			choice := rest % len(opts)
@@ -384,7 +643,7 @@ func (c *Cache) buildTemplates(q *workload.Query) *QueryInfo {
 		if len(forced) == 0 {
 			continue
 		}
-		p, err := c.Eng.TemplatePlan(q, synth, forced)
+		p, err := tctx.TemplatePlan(forced)
 		calls++
 		if err != nil {
 			continue
@@ -397,7 +656,7 @@ func (c *Cache) buildTemplates(q *workload.Query) *QueryInfo {
 	c.statMu.Lock()
 	c.PrepCalls += calls
 	c.statMu.Unlock()
-	return qi
+	return qi.Templates
 }
 
 // remainder returns cols minus the key columns.
@@ -418,13 +677,22 @@ func remainder(cols, key []string) []string {
 	return out
 }
 
-// extract converts a forced physical plan into a template: β is the
-// internal cost; each leaf becomes a slot whose order requirement is
-// the forced order of its table (not the incidental order of the index
-// the optimizer happened to pick).
-func extract(p *engine.Plan, forced map[string][]string, needCols map[string][]string) *Template {
-	t := &Template{Internal: p.Root.InternalCost()}
-	for _, leaf := range p.Root.Leaves(nil) {
+// extractInto converts a forced physical plan into a template held in
+// t, reusing t's slot capacity and the caller's leaves scratch: β is
+// the internal cost; each leaf becomes a slot whose order requirement
+// is the forced order of its table (not the incidental order of the
+// index the optimizer happened to pick). It returns the leaves scratch
+// for reuse.
+func extractInto(t *Template, leaves []*engine.PlanNode, p *engine.Plan, forced map[string][]string, needCols map[string][]string) []*engine.PlanNode {
+	leaves = p.Root.Leaves(leaves)
+	var leafCost float64
+	for _, l := range leaves {
+		leafCost += l.SelfCost
+	}
+	t.Internal = p.Root.Cost - leafCost
+	t.Slots = t.Slots[:0]
+	t.sig = ""
+	for _, leaf := range leaves {
 		s := Slot{Table: leaf.Table, NeedCols: needCols[leaf.Table]}
 		if leaf.Op == engine.OpIndexLookup {
 			s.Mode = SlotLookup
@@ -438,18 +706,26 @@ func extract(p *engine.Plan, forced map[string][]string, needCols map[string][]s
 		}
 		t.Slots = append(t.Slots, s)
 	}
-	return t
+	return leaves
 }
 
-// addTemplate inserts a template unless an identical signature exists.
-func (qi *QueryInfo) addTemplate(t *Template) {
-	sig := t.signature()
+// addTemplate inserts a copy of the (possibly scratch) template unless
+// an identical signature exists. buf is signature scratch, returned for
+// reuse; the duplicate check compares bytes so rejected templates cost
+// no allocation at all.
+func (qi *QueryInfo) addTemplate(t *Template, buf []byte) []byte {
+	buf = t.appendSig(buf)
 	for _, prior := range qi.Templates {
-		if prior.signature() == sig {
-			return
+		if prior.signature() == string(buf) {
+			return buf
 		}
 	}
-	qi.Templates = append(qi.Templates, t)
+	qi.Templates = append(qi.Templates, &Template{
+		Internal: t.Internal,
+		Slots:    append([]Slot(nil), t.Slots...),
+		sig:      string(buf),
+	})
+	return buf
 }
 
 // prune drops dominated templates and caps the count at maxK, keeping
@@ -517,13 +793,17 @@ func dominates(a, b *Template) bool {
 	if len(a.Slots) != len(b.Slots) {
 		return false
 	}
-	bByTable := make(map[string]*Slot, len(b.Slots))
-	for i := range b.Slots {
-		bByTable[b.Slots[i].Table] = &b.Slots[i]
-	}
 	for i := range a.Slots {
 		sa := &a.Slots[i]
-		sb := bByTable[sa.Table]
+		// Slot counts are tiny (one per referenced table), so a linear
+		// scan beats building a lookup map per comparison.
+		var sb *Slot
+		for j := range b.Slots {
+			if b.Slots[j].Table == sa.Table {
+				sb = &b.Slots[j]
+				break
+			}
+		}
 		if sb == nil || sa.Mode != sb.Mode {
 			return false
 		}

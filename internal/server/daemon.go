@@ -140,10 +140,17 @@ type Daemon struct {
 	// is in memory, and WriteSnapshot holds it across rotate+export so
 	// no acknowledged batch can be both inside the snapshot and in the
 	// surviving tail. snapMu serializes whole snapshots.
-	store    *persist.Store
-	pMu      sync.Mutex
-	snapMu   sync.Mutex
+	store  *persist.Store
+	pMu    sync.Mutex
+	snapMu sync.Mutex
+	// recMu guards recovery: the background warming phase fills in its
+	// wall time after the daemon is already serving /stats.
+	recMu    sync.Mutex
 	recovery RecoveryStats
+	// warming is true from recovery until the background re-prepare of
+	// the recovered statements completes; surfaced in /healthz and
+	// /stats (the daemon serves — possibly colder — throughout).
+	warming atomic.Bool
 
 	// wiMu guards the what-if entry FIFO: the "whatif-<hash>" INUM
 	// entries are keyed by statement content, not stream ID, so the
@@ -171,6 +178,7 @@ type Daemon struct {
 	walRecords     *obs.Counter
 	snapshots      *obs.Counter
 	persistErrors  *obs.Counter
+	planStale      *obs.Counter
 }
 
 // maxWhatIfEntries caps the distinct what-if statements whose template
@@ -698,6 +706,19 @@ type Stats struct {
 	// multipliers were carried across).
 	SessionRebases     int64 `json:"session_rebases"`
 	SessionCompactions int64 `json:"session_compactions"`
+	// PlanCacheHits / PlanCacheMisses expose the INUM shape cache:
+	// hits are statement preparations that skipped every optimizer call
+	// by reusing another statement's derivation (or a persisted one).
+	// PlanCacheStale counts recoveries that found a plan payload stamped
+	// by a different derivation environment and re-derived instead.
+	// PlanShapes is the number of derived shapes currently cached.
+	PlanCacheHits   int64 `json:"plan_cache_hits"`
+	PlanCacheMisses int64 `json:"plan_cache_misses"`
+	PlanCacheStale  int64 `json:"plan_cache_stale"`
+	PlanShapes      int   `json:"plan_shapes"`
+	// Warming is true while the post-recovery background re-prepare is
+	// still running; the daemon serves throughout.
+	Warming bool `json:"warming"`
 	// WALRecords / SnapshotsWritten / PersistErrors expose the
 	// durability layer — always present, so "zero errors" never reads
 	// as a missing key; Recovery describes what the last restart
@@ -711,8 +732,14 @@ type Stats struct {
 // Snapshot returns current counters.
 func (d *Daemon) Snapshot() Stats {
 	calls, _ := d.ad.Inum.PrepStats()
+	hits, misses := d.ad.Inum.ShapeStats()
 	health, cause := d.Health()
 	st := Stats{
+		PlanCacheHits:   hits,
+		PlanCacheMisses: misses,
+		PlanCacheStale:  d.planStale.Load(),
+		PlanShapes:      d.ad.Inum.ShapeCount(),
+		Warming:         d.warming.Load(),
 		Health:             health,
 		DegradedCause:      cause,
 		QueueDepth:         d.adm.depth.Load(),
@@ -739,7 +766,9 @@ func (d *Daemon) Snapshot() Stats {
 		PersistErrors:      d.persistErrors.Load(),
 	}
 	if d.store != nil {
+		d.recMu.Lock()
 		rec := d.recovery
+		d.recMu.Unlock()
 		st.Recovery = &rec
 		st.DiskErrors = d.store.DiskErrors()
 	}

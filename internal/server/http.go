@@ -134,7 +134,10 @@ func (d *Daemon) Handler() http.Handler {
 	// "healthy"} when fully serving; 503 with "degraded" (plus the
 	// cause) while the data directory is failing and mutations are
 	// refused; 503 with "draining" during shutdown so load balancers
-	// stop routing here before the listener closes.
+	// stop routing here before the listener closes. The warming flag
+	// rides along while the post-recovery background re-prepare is
+	// still running — informational only, never a 503: the daemon
+	// serves correct (if slower) answers during the warm-up.
 	mux.HandleFunc("GET /healthz", d.instrument("healthz", func(w http.ResponseWriter, r *http.Request) {
 		state, cause := d.Health()
 		code := http.StatusOK
@@ -145,9 +148,10 @@ func (d *Daemon) Handler() http.Handler {
 		w.WriteHeader(code)
 		enc := json.NewEncoder(w)
 		_ = enc.Encode(struct {
-			Status string `json:"status"`
-			Cause  string `json:"cause,omitempty"`
-		}{Status: state, Cause: cause})
+			Status  string `json:"status"`
+			Cause   string `json:"cause,omitempty"`
+			Warming bool   `json:"warming,omitempty"`
+		}{Status: state, Cause: cause, Warming: d.warming.Load()})
 	}))
 	return mux
 }

@@ -44,6 +44,8 @@ func (d *Daemon) registerMetrics(reg *obs.Registry) {
 		"Failed durability-layer writes.")
 	d.degradedEntries = reg.Counter("cophyd_degraded_entries_total",
 		"Healthy-to-degraded transitions over the daemon's lifetime.")
+	d.planStale = reg.Counter("cophyd_plan_cache_stale_total",
+		"Recoveries that found a plan payload stamped by a different derivation environment and re-derived instead of importing.")
 
 	// The admission queue's shed counter and the solve-latency histogram
 	// (the basis of 429 Retry-After) live on the queue itself; register
@@ -78,6 +80,15 @@ func (d *Daemon) registerMetrics(reg *obs.Registry) {
 	reg.CounterFunc("cophyd_inum_prep_calls_total",
 		"INUM preparation calls (optimizer invocations saved show up as a plateau).",
 		func() float64 { calls, _ := d.ad.Inum.PrepStats(); return float64(calls) })
+	reg.CounterFunc("cophyd_plan_cache_hits_total",
+		"Statement preparations served from the shape-keyed plan cache without re-derivation.",
+		func() float64 { h, _ := d.ad.Inum.ShapeStats(); return float64(h) })
+	reg.CounterFunc("cophyd_plan_cache_misses_total",
+		"Statement preparations that derived template plans for a new shape.",
+		func() float64 { _, m := d.ad.Inum.ShapeStats(); return float64(m) })
+	reg.GaugeFunc("cophyd_plan_shapes",
+		"Distinct query shapes with compiled template plans resident in the cache.",
+		func() float64 { return float64(d.ad.Inum.ShapeCount()) })
 	reg.CounterFunc("cophyd_disk_errors_total",
 		"Failed filesystem operations observed by the store.",
 		func() float64 {

@@ -227,8 +227,13 @@ func TestBurstAcceptance(t *testing.T) {
 	d.adm = newAdmission(1, 10*time.Second) // tiny queue: sheds must happen on the distinct burst
 
 	// Phase 1 — identical burst: everyone coalesces onto one flight.
+	// The session is wedged until every follower has registered: on a
+	// one-CPU box the scheduler can otherwise serialize the clients so
+	// completely that each solve finishes before the next request
+	// arrives and no coalescing window ever exists.
 	const K = 8
-	solves0 := d.ad.Solves()
+	solves0, coalesced0 := d.ad.Solves(), d.coalesced.Load()
+	d.sem <- struct{}{}
 	var wg sync.WaitGroup
 	codes := make([]int, K)
 	for i := 0; i < K; i++ {
@@ -239,6 +244,8 @@ func TestBurstAcceptance(t *testing.T) {
 			codes[i] = resp.StatusCode
 		}(i)
 	}
+	waitFor(t, "burst followers to coalesce", func() bool { return d.coalesced.Load()-coalesced0 >= K-1 })
+	<-d.sem
 	wg.Wait()
 	for i, c := range codes {
 		if c != http.StatusOK && c != http.StatusTooManyRequests {

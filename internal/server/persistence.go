@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/cophy"
+	"repro/internal/inum"
 	"repro/internal/lagrange"
 	"repro/internal/obs"
 	"repro/internal/workload"
@@ -26,12 +27,32 @@ const stateSchema = 1
 
 // persistedState is the snapshot payload: everything a restarted
 // daemon needs to serve warm — the live stream with its clocks and ID
-// allocator, the lifetime ingest counter, and the session's warm state.
+// allocator, the lifetime ingest counter, the session's warm state,
+// and the compiled template plans of the INUM shape cache. Plans is
+// additive within schema 1: snapshots written before it simply lack
+// the field, and recovery treats a missing, stale or unusable payload
+// identically — re-derive, never refuse.
 type persistedState struct {
 	Schema   int                  `json:"schema"`
 	Stream   workload.StreamState `json:"stream"`
 	Ingested int64                `json:"ingested"`
 	Session  *sessionState        `json:"session,omitempty"`
+	Plans    *planPayload         `json:"plans,omitempty"`
+}
+
+// planPayload is the serialized INUM shape cache: one record per shape
+// fingerprint with its derived template set, stamped by the exact
+// derivation environment (catalog hash, cost-model version, cost
+// profile — engine.PlanStamp). The stamp has its own lifecycle,
+// deliberately separate from stateSchema: a schema mismatch means the
+// state is unintelligible and recovery refuses, while a stamp mismatch
+// only means the plans were derived by a different cost model — they
+// are discarded, counted in plan_cache_stale, and re-derived in the
+// background. Wrong plans would silently corrupt every costing; slow
+// recovery just costs one warm-up.
+type planPayload struct {
+	Stamp  string             `json:"stamp"`
+	Shapes []inum.ShapeRecord `json:"shapes"`
 }
 
 // sessionState is the wire form of cophy.SessionState plus the
@@ -75,8 +96,21 @@ type RecoveryStats struct {
 	// WarmSession is true when a session warm state was recovered — the
 	// first /recommend will solve warm, not cold.
 	WarmSession bool `json:"warm_session"`
-	// Millis is the recovery wall time, including the INUM re-prepare.
+	// PlanShapes counts compiled template-plan shapes imported from the
+	// snapshot's plan payload; with a valid payload the background
+	// re-prepare performs zero TemplatePlan derivations.
+	PlanShapes int `json:"plan_shapes,omitempty"`
+	// PlanStale is true when a plan payload was present but stamped by
+	// a different derivation environment (catalog, cost model or
+	// profile changed) and was discarded for background re-derivation.
+	PlanStale bool `json:"plan_stale,omitempty"`
+	// Millis is the blocking recovery wall time. The INUM re-prepare no
+	// longer blocks here: it runs in the background (see Stats.Warming)
+	// and reports its own wall time in WarmMillis once finished.
 	Millis float64 `json:"millis"`
+	// WarmMillis is the background re-prepare wall time; zero until the
+	// warming phase completes.
+	WarmMillis float64 `json:"warm_millis,omitempty"`
 }
 
 // recover rebuilds the daemon from its store: snapshot first, then the
@@ -86,6 +120,7 @@ type RecoveryStats struct {
 func (d *Daemon) recover() error {
 	t0 := time.Now()
 	var pending *sessionState
+	var plans *planPayload
 	info, err := d.store.Recover(
 		func(payload []byte) error {
 			var st persistedState
@@ -100,6 +135,7 @@ func (d *Daemon) recover() error {
 			}
 			d.ingested.Store(st.Ingested)
 			pending = st.Session
+			plans = st.Plans
 			return nil
 		},
 		func(rec []byte) error {
@@ -124,14 +160,29 @@ func (d *Daemon) recover() error {
 		return err
 	}
 
-	// Rebuild the derived state. The INUM cache is re-prepared over the
-	// recovered statements (template plans are not persisted — they are
-	// a pure function of statement and engine), so the first request
-	// pays no preparation.
-	w := d.stream.Snapshot()
-	if w.Size() > 0 {
-		d.ad.Inum.Prepare(w)
+	// Seed the INUM shape cache from the persisted plan payload. The
+	// stamp gate is strict equality: template plans are bit-exact
+	// functions of (catalog, cost model, profile), so anything else —
+	// missing payload, old payload, changed catalog — degrades to
+	// background re-derivation, never to refusal.
+	planShapes, planStale := 0, false
+	if plans != nil {
+		if plans.Stamp == d.eng.PlanStamp() {
+			planShapes = d.ad.Inum.ImportShapes(plans.Shapes)
+		} else {
+			planStale = true
+			d.planStale.Inc()
+		}
 	}
+
+	// Rebuild the derived state. The re-prepare over the recovered
+	// statements runs in the background (readiness must not wait on
+	// derivation): with a valid plan payload it is pure cache lookups
+	// and performs zero TemplatePlan calls; otherwise it re-derives
+	// through the worker pool while requests that arrive early prepare
+	// their own statements on demand, deduplicated by the shape cache's
+	// singleflight.
+	w := d.stream.Snapshot()
 	warm := false
 	if pending != nil && w.Size() > 0 {
 		cands := make([]*catalog.Index, len(pending.Candidates))
@@ -155,9 +206,36 @@ func (d *Daemon) recover() error {
 		TruncatedBytes:  info.TruncatedBytes,
 		Statements:      w.Size(),
 		WarmSession:     warm,
+		PlanShapes:      planShapes,
+		PlanStale:       planStale,
 		Millis:          time.Since(t0).Seconds() * 1000,
 	}
+	if w.Size() > 0 {
+		d.warming.Store(true)
+		go d.warmPrepare(w)
+	}
 	return nil
+}
+
+// warmPrepare is the background warming phase of recovery: re-prepare
+// every recovered statement through the INUM worker pool (cache
+// lookups when the plan payload was imported, derivations otherwise),
+// then sweep entries of statements that decay evicted while warming —
+// their IDs will never fire the eviction hook again. Stats.Warming is
+// true until it finishes.
+func (d *Daemon) warmPrepare(w *workload.Workload) {
+	t0 := time.Now()
+	d.ad.Inum.PrepareCtx(context.Background(), w)
+	live := d.stream.LiveIDs()
+	for _, st := range w.Statements {
+		if id := st.ID(); !live[id] {
+			d.evicted.Add(int64(d.ad.Inum.Evict(id)))
+		}
+	}
+	d.recMu.Lock()
+	d.recovery.WarmMillis = time.Since(t0).Seconds() * 1000
+	d.recMu.Unlock()
+	d.warming.Store(false)
 }
 
 // consFor derives the constraint set from the budget knob, the same
@@ -271,11 +349,22 @@ func (d *Daemon) WriteSnapshot(ctx context.Context) (SnapshotResult, error) {
 		return SnapshotResult{}, ctx.Err()
 	}
 
+	// The compiled template plans ride along, stamped by the derivation
+	// environment. Exported after the stream cut: shapes are keyed by
+	// fingerprint, not statement ID, so a shape derived for a statement
+	// the cut missed is still valid for recovery to import — at worst
+	// the cache warms slightly ahead of the stream.
+	var plans *planPayload
+	if shapes := d.ad.Inum.ExportShapes(); len(shapes) > 0 {
+		plans = &planPayload{Stamp: d.eng.PlanStamp(), Shapes: shapes}
+	}
+
 	payload, err := json.Marshal(persistedState{
 		Schema:   stateSchema,
 		Stream:   streamState,
 		Ingested: ingested,
 		Session:  sess,
+		Plans:    plans,
 	})
 	if err != nil {
 		return SnapshotResult{}, err
