@@ -55,6 +55,10 @@ type opts struct {
 	seed     int64
 	out      string
 	mix      []mixEntry
+	// slo holds objectives evaluated against the measured run; a
+	// violation fails the run (exit 1) unless sloAdvisory is set.
+	slo         []obs.Objective
+	sloAdvisory bool
 }
 
 // mixEntry is one endpoint's weight in the request mix.
@@ -94,6 +98,8 @@ func main() {
 	budget := flag.Float64("budget", 0.5, "budget_fraction sent with /recommend")
 	seed := flag.Int64("seed", 1, "workload-generation seed")
 	out := flag.String("out", "", "write BENCH_daemon.json-schema results to this path (empty disables)")
+	sloSpec := flag.String("slo", "", `objectives to evaluate against the measured run, e.g. "recommend.p99=250ms,shed<5%" (same grammar as cophyd -slo); any violation exits non-zero unless -slo-advisory`)
+	sloAdvisory := flag.Bool("slo-advisory", false, "print SLO verdicts but never fail the run on them (for noisy shared runners)")
 	flag.Parse()
 
 	mix, err := parseMix(*mixFlag)
@@ -101,17 +107,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(2)
 	}
+	slo, err := obs.ParseObjectives(*sloSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(2)
+	}
 	o := opts{
-		base:     "http://" + strings.TrimPrefix(strings.TrimPrefix(*addr, "http://"), "https://"),
-		token:    *token,
-		clients:  *clients,
-		rate:     *rate,
-		duration: *duration,
-		timeout:  *timeout,
-		budget:   *budget,
-		seed:     *seed,
-		out:      *out,
-		mix:      mix,
+		base:        "http://" + strings.TrimPrefix(strings.TrimPrefix(*addr, "http://"), "https://"),
+		token:       *token,
+		clients:     *clients,
+		rate:        *rate,
+		duration:    *duration,
+		timeout:     *timeout,
+		budget:      *budget,
+		seed:        *seed,
+		out:         *out,
+		mix:         mix,
+		slo:         slo,
+		sloAdvisory: *sloAdvisory,
 	}
 	if o.clients < 1 {
 		o.clients = 1
@@ -413,6 +426,28 @@ func report(o opts, stats map[string]*endpointStats, wall time.Duration, before,
 		experiments.BenchResult{Name: "Daemon/coalesced", Iterations: int(coalesceDelta)},
 	)
 
+	// SLO verdicts: each declared objective judged against the measured
+	// run. The verdict rides into the export as a pass/fail bit
+	// (iterations 1/0, ns_per_op 0 so the noise gate ignores it) and
+	// onto stdout as one line per objective.
+	var violated []string
+	if len(o.slo) > 0 {
+		fmt.Println("\nSLO verdicts:")
+		for _, obj := range o.slo {
+			pass, measured := judge(obj, stats, shedRate)
+			verdict, bit := "PASS", 1
+			if !pass {
+				verdict, bit = "FAIL", 0
+				violated = append(violated, obj.String())
+			}
+			fmt.Printf("  %s  %-28s measured %s\n", verdict, obj.String(), measured)
+			results = append(results, experiments.BenchResult{
+				Name:       "Daemon/slo/" + obj.String(),
+				Iterations: bit,
+			})
+		}
+	}
+
 	if o.out != "" {
 		if err := os.MkdirAll(filepath.Dir(o.out), 0o755); err != nil {
 			return err
@@ -432,7 +467,48 @@ func report(o opts, stats map[string]*endpointStats, wall time.Duration, before,
 			return fmt.Errorf("endpoint %s completed zero successful requests", k)
 		}
 	}
+	if len(violated) > 0 && !o.sloAdvisory {
+		return fmt.Errorf("SLO violated: %s", strings.Join(violated, ", "))
+	}
 	return nil
+}
+
+// judge evaluates one objective against the run: latency objectives
+// against the endpoint's successful-request quantile, error_rate
+// against failures per attempt across all endpoints (429 sheds are
+// their own class, not errors), shed_rate against the server-side shed
+// delta per recommend attempt — the same rate the summary line prints.
+// An objective with nothing to measure (endpoint absent from the mix,
+// zero samples) fails: a run that cannot support its objective must
+// not pass it silently.
+func judge(obj obs.Objective, stats map[string]*endpointStats, shedRate float64) (bool, string) {
+	switch obj.Kind {
+	case obs.KindLatency:
+		st := stats[obj.Endpoint]
+		if st == nil {
+			return false, "nothing (endpoint not in mix)"
+		}
+		snap := st.hist.Snapshot()
+		if snap.Count == 0 {
+			return false, "nothing (no successful requests)"
+		}
+		got := snap.Quantile(obj.Quantile)
+		return got <= obj.Limit.Nanoseconds(), ms(got)
+	default:
+		rate := shedRate
+		if obj.Rate == "error_rate" {
+			var attempts, failed int64
+			for _, st := range stats {
+				attempts += st.attempt.Load()
+				failed += st.failed.Load()
+			}
+			rate = 0
+			if attempts > 0 {
+				rate = float64(failed) / float64(attempts)
+			}
+		}
+		return rate <= obj.MaxRate, fmt.Sprintf("%.2f%%", 100*rate)
+	}
 }
 
 // ms renders nanoseconds as milliseconds for the human table.

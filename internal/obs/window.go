@@ -1,0 +1,243 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// WindowedHistogram layers a sliding window over a lifetime Histogram:
+// every sample is recorded into the lifetime histogram (so cumulative
+// exposition and lifetime quantiles are unchanged) and into a ring of
+// rotating epoch sub-histograms, from which WindowSnapshot merges the
+// recent ones. Because every sub-window shares the lifetime histogram's
+// log-linear bucket layout, a merged snapshot is itself an exact
+// bucket-sum — the ≤6.25% one-sided quantile error bound carries over
+// to windowed quantiles unchanged.
+//
+// Rotation is clock-driven and lock-free: a slot's epoch number is an
+// atomic stamp, and the writer that first touches a slot in a new
+// epoch CASes the stamp forward and swaps in a fresh histogram. All
+// mutation is atomics, so concurrent Record/rotate/WindowSnapshot is
+// race-free by construction. The boundary semantics are deliberately
+// loose in the cheap direction: a writer racing a rotation may record
+// into the sub-histogram being retired (one sample lost from the
+// window — never from the lifetime histogram, which is fed first), and
+// window coverage is quantized to epoch granularity, so a
+// WindowSnapshot(w) covers between w−epoch and w of history.
+type WindowedHistogram struct {
+	life  *Histogram
+	epoch time.Duration
+	slots []windowSlot
+	// now is the clock; tests swap it before concurrent use.
+	now func() time.Time
+}
+
+type windowSlot struct {
+	// stamp is the epoch number resident in this slot (-1 = never
+	// used). hist is swapped wholesale on rotation rather than zeroed
+	// in place, so a snapshot never reads a half-cleared bucket array.
+	stamp atomic.Int64
+	hist  atomic.Pointer[Histogram]
+}
+
+// NewWindowedHistogram builds a window of the given span over life.
+// The span is divided into epochs of the given length (minimum 1ms);
+// the ring holds span/epoch+1 slots so the newest full span is always
+// resident alongside the partially-filled current epoch. life must be
+// non-nil — it is the lifetime series (typically a registered one, so
+// /metrics exposition is untouched by windowing).
+func NewWindowedHistogram(life *Histogram, epoch, span time.Duration) *WindowedHistogram {
+	if epoch < time.Millisecond {
+		epoch = time.Millisecond
+	}
+	if span < epoch {
+		span = epoch
+	}
+	n := int(span/epoch) + 1
+	if span%epoch != 0 {
+		n++
+	}
+	w := &WindowedHistogram{life: life, epoch: epoch, slots: make([]windowSlot, n), now: time.Now}
+	for i := range w.slots {
+		w.slots[i].stamp.Store(-1)
+	}
+	return w
+}
+
+// epochNum is the current epoch number.
+func (w *WindowedHistogram) epochNum() int64 {
+	return w.now().UnixNano() / int64(w.epoch)
+}
+
+// Record adds one sample to the lifetime histogram and the current
+// epoch's sub-window.
+func (w *WindowedHistogram) Record(v int64) {
+	w.life.Record(v)
+	e := w.epochNum()
+	s := &w.slots[int(e%int64(len(w.slots)))]
+	if s.stamp.Load() != e {
+		w.advance(s, e)
+	}
+	if h := s.hist.Load(); h != nil {
+		h.Record(v)
+	}
+}
+
+// Observe records a duration in nanoseconds.
+func (w *WindowedHistogram) Observe(d time.Duration) { w.Record(d.Nanoseconds()) }
+
+// advance rotates a slot into epoch e: the CAS winner installs a fresh
+// sub-histogram. A loser (or a writer that raced in between CAS and
+// the pointer swap) records into whichever histogram it loads — at
+// worst one boundary sample leaves the window early.
+func (w *WindowedHistogram) advance(s *windowSlot, e int64) {
+	for {
+		old := s.stamp.Load()
+		if old >= e {
+			return
+		}
+		if s.stamp.CompareAndSwap(old, e) {
+			s.hist.Store(NewHistogram())
+			return
+		}
+	}
+}
+
+// Snapshot returns the lifetime histogram's snapshot.
+func (w *WindowedHistogram) Snapshot() HistSnapshot { return w.life.Snapshot() }
+
+// Life returns the lifetime histogram (the registered series).
+func (w *WindowedHistogram) Life() *Histogram { return w.life }
+
+// Epoch returns the sub-window length.
+func (w *WindowedHistogram) Epoch() time.Duration { return w.epoch }
+
+// WindowSnapshot merges the sub-windows covering roughly the trailing
+// `window` (clamped to the ring's span): the current partial epoch
+// plus the ceil(window/epoch)−1 before it. The result is an ordinary
+// HistSnapshot — quantiles, mean and CountAbove all apply, with the
+// same error bound as the lifetime histogram. A window no sample has
+// touched answers an empty snapshot (Count 0, quantiles 0).
+func (w *WindowedHistogram) WindowSnapshot(window time.Duration) HistSnapshot {
+	k := int64(window / w.epoch)
+	if window%w.epoch != 0 {
+		k++
+	}
+	if k < 1 {
+		k = 1
+	}
+	if max := int64(len(w.slots)) - 1; k > max {
+		k = max
+	}
+	e := w.epochNum()
+	merged := HistSnapshot{buckets: make([]int64, histBuckets)}
+	for i := range w.slots {
+		st := w.slots[i].stamp.Load()
+		if st <= e-k || st > e {
+			continue // expired, never used, or (clock skew) future
+		}
+		h := w.slots[i].hist.Load()
+		if h == nil {
+			continue
+		}
+		merged.Sum += h.sum.Load()
+		for b := range h.buckets {
+			n := h.buckets[b].Load()
+			merged.buckets[b] += n
+			merged.Count += n
+		}
+	}
+	return merged
+}
+
+// WindowedCounter is the counter analogue: a ring of epoch-stamped
+// atomic counters whose recent slots sum to the trailing-window total.
+// Same rotation discipline and boundary semantics as
+// WindowedHistogram; unlike it there is no lifetime side — pair it
+// with an ordinary Counter when a lifetime total is also needed. All
+// methods are nil-receiver-safe so optional wiring needs no guards.
+type WindowedCounter struct {
+	epoch time.Duration
+	slots []counterSlot
+	now   func() time.Time
+}
+
+type counterSlot struct {
+	stamp atomic.Int64
+	n     atomic.Int64
+}
+
+// NewWindowedCounter builds a windowed counter spanning `span` in
+// epochs of `epoch` (minimum 1ms).
+func NewWindowedCounter(epoch, span time.Duration) *WindowedCounter {
+	if epoch < time.Millisecond {
+		epoch = time.Millisecond
+	}
+	if span < epoch {
+		span = epoch
+	}
+	n := int(span/epoch) + 1
+	if span%epoch != 0 {
+		n++
+	}
+	c := &WindowedCounter{epoch: epoch, slots: make([]counterSlot, n), now: time.Now}
+	for i := range c.slots {
+		c.slots[i].stamp.Store(-1)
+	}
+	return c
+}
+
+// Add adds n to the current epoch's slot. Nil-safe.
+func (c *WindowedCounter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	e := c.now().UnixNano() / int64(c.epoch)
+	s := &c.slots[int(e%int64(len(c.slots)))]
+	for {
+		old := s.stamp.Load()
+		if old == e {
+			break
+		}
+		if old > e {
+			return // clock skew: drop rather than pollute a newer epoch
+		}
+		if s.stamp.CompareAndSwap(old, e) {
+			s.n.Store(0)
+			break
+		}
+	}
+	s.n.Add(n)
+}
+
+// Inc adds one. Nil-safe.
+func (c *WindowedCounter) Inc() { c.Add(1) }
+
+// WindowTotal sums the slots covering roughly the trailing `window`
+// (the current partial epoch plus the full epochs before it, clamped
+// to the ring's span). Nil receivers answer 0.
+func (c *WindowedCounter) WindowTotal(window time.Duration) int64 {
+	if c == nil {
+		return 0
+	}
+	k := int64(window / c.epoch)
+	if window%c.epoch != 0 {
+		k++
+	}
+	if k < 1 {
+		k = 1
+	}
+	if max := int64(len(c.slots)) - 1; k > max {
+		k = max
+	}
+	e := c.now().UnixNano() / int64(c.epoch)
+	var total int64
+	for i := range c.slots {
+		st := c.slots[i].stamp.Load()
+		if st <= e-k || st > e {
+			continue
+		}
+		total += c.slots[i].n.Load()
+	}
+	return total
+}

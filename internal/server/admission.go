@@ -29,13 +29,18 @@ type admission struct {
 	tickets chan struct{} // queue slots: holders are waiting for the session
 	timeout time.Duration
 
-	// solveHist records in-slot solve wall time — the basis for
+	// solve records in-slot solve wall time — the basis for
 	// Retry-After: a shed caller is told to come back after roughly the
-	// p95 solve time for each request ahead of it. The daemon swaps in
-	// its registered series (metrics.go), so Retry-After and the
-	// cophyd_solve_seconds exposition read the same samples by
-	// construction.
-	solveHist *obs.Histogram
+	// p95 solve time for each request ahead of it. It is a sliding
+	// window layered over the registered cophyd_solve_seconds series
+	// (metrics.go wires both), so Retry-After reads the *recent* p95 —
+	// after a latency regime shift (cache warmed, workload compacted)
+	// the estimate tracks the new regime within retryWindow instead of
+	// being dragged by the lifetime distribution — while the exposition
+	// still sees every sample. With nothing in the window (an idle
+	// server's first burst) the lifetime p95 is the fallback.
+	solve       *obs.WindowedHistogram
+	retryWindow time.Duration
 
 	depth atomic.Int64 // callers currently queued
 	peak  atomic.Int64 // high-water mark of depth
@@ -50,10 +55,11 @@ func newAdmission(maxQueue int, timeout time.Duration) *admission {
 		timeout = 2 * time.Second
 	}
 	return &admission{
-		tickets:   make(chan struct{}, maxQueue),
-		timeout:   timeout,
-		solveHist: obs.NewHistogram(),
-		shed:      &obs.Counter{},
+		tickets:     make(chan struct{}, maxQueue),
+		timeout:     timeout,
+		solve:       obs.NewWindowedHistogram(obs.NewHistogram(), time.Minute, 5*time.Minute),
+		retryWindow: 5 * time.Minute,
+		shed:        &obs.Counter{},
 	}
 }
 
@@ -95,19 +101,25 @@ func (a *admission) admit(ctx context.Context, sem chan struct{}) (func(), error
 	}
 }
 
-// observe folds one completed solve's wall time into the latency
-// histogram shared with the /metrics exposition.
+// observe folds one completed solve's wall time into the windowed
+// latency histogram (whose lifetime side is the cophyd_solve_seconds
+// exposition).
 func (a *admission) observe(d time.Duration) {
-	a.solveHist.Observe(d)
+	a.solve.Observe(d)
 }
 
 // retryAfter estimates, in whole seconds (≥1, capped at 60), how long
-// a shed caller should wait: the queue ahead of it times the p95
-// observed solve latency — pessimistic on purpose, since a caller that
-// returns too early is shed again. With no solve observed yet it
-// answers 1, the only honest number before data exists.
+// a shed caller should wait: the queue ahead of it times the p95 solve
+// latency over the recent window — pessimistic on purpose, since a
+// caller that returns too early is shed again, but never stale: the
+// lifetime distribution only answers when the window is empty. With no
+// solve observed at all it answers 1, the only honest number before
+// data exists.
 func (a *admission) retryAfter() int {
-	snap := a.solveHist.Snapshot()
+	snap := a.solve.WindowSnapshot(a.retryWindow)
+	if snap.Count == 0 {
+		snap = a.solve.Snapshot()
+	}
 	if snap.Count == 0 {
 		return 1
 	}

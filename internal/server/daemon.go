@@ -88,6 +88,18 @@ type Config struct {
 	// breakdown (queue wait, solver phases, WAL append). Nil disables
 	// request logging; metrics are recorded either way.
 	RequestLog *slog.Logger
+	// SLO declares the objectives GET /slo and the cophyd_slo_* gauges
+	// evaluate (parse with obs.ParseObjectives). Empty means none —
+	// the windowed telemetry still runs (it also feeds Retry-After).
+	SLO []obs.Objective
+	// SLOFastWindow / SLOSlowWindow are the burn-rate evaluation
+	// windows. Zero means 5m / 1h. Exposed mainly so tests can run the
+	// window machinery at full speed.
+	SLOFastWindow, SLOSlowWindow time.Duration
+	// FlightKeep is how many slowest requests the flight recorder
+	// retains per endpoint (zero = 8); FlightEvents bounds its
+	// shed/error ring (zero = 64).
+	FlightKeep, FlightEvents int
 }
 
 // Daemon is the service core. All exported methods are safe for
@@ -166,6 +178,13 @@ type Daemon struct {
 	reg    *obs.Registry
 	reqLog *slog.Logger
 
+	// slo owns the windowed request telemetry and evaluates the
+	// declared objectives (slo.go); flight retains the traces worth
+	// keeping — slowest per endpoint plus every shed/error — for
+	// GET /debug/traces. Both are always non-nil.
+	slo    *sloEngine
+	flight *obs.FlightRecorder
+
 	ingested       *obs.Counter
 	coalesced      *obs.Counter
 	numFallbacks   *obs.Counter
@@ -216,6 +235,8 @@ func New(cfg Config) (*Daemon, error) {
 		probeBase:     cfg.ProbeBase,
 		probeMax:      cfg.ProbeMax,
 		reqLog:        cfg.RequestLog,
+		slo:           newSLOEngine(cfg.SLO, cfg.SLOFastWindow, cfg.SLOSlowWindow),
+		flight:        obs.NewFlightRecorder(cfg.FlightKeep, cfg.FlightEvents),
 	}
 	d.registerMetrics(obs.NewRegistry())
 	if d.probeBase <= 0 {
@@ -719,6 +740,10 @@ type Stats struct {
 	// Warming is true while the post-recovery background re-prepare is
 	// still running; the daemon serves throughout.
 	Warming bool `json:"warming"`
+	// SLO carries the evaluated objective states when objectives are
+	// configured — the same evaluation GET /slo serves, informational
+	// only (an SLO page never changes Health).
+	SLO []ObjectiveStatus `json:"slo,omitempty"`
 	// WALRecords / SnapshotsWritten / PersistErrors expose the
 	// durability layer — always present, so "zero errors" never reads
 	// as a missing key; Recovery describes what the last restart
@@ -735,11 +760,11 @@ func (d *Daemon) Snapshot() Stats {
 	hits, misses := d.ad.Inum.ShapeStats()
 	health, cause := d.Health()
 	st := Stats{
-		PlanCacheHits:   hits,
-		PlanCacheMisses: misses,
-		PlanCacheStale:  d.planStale.Load(),
-		PlanShapes:      d.ad.Inum.ShapeCount(),
-		Warming:         d.warming.Load(),
+		PlanCacheHits:      hits,
+		PlanCacheMisses:    misses,
+		PlanCacheStale:     d.planStale.Load(),
+		PlanShapes:         d.ad.Inum.ShapeCount(),
+		Warming:            d.warming.Load(),
 		Health:             health,
 		DegradedCause:      cause,
 		QueueDepth:         d.adm.depth.Load(),
@@ -771,6 +796,9 @@ func (d *Daemon) Snapshot() Stats {
 		d.recMu.Unlock()
 		st.Recovery = &rec
 		st.DiskErrors = d.store.DiskErrors()
+	}
+	if len(d.slo.objectives) > 0 {
+		st.SLO = d.slo.evaluate()
 	}
 	return st
 }

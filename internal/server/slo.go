@@ -1,0 +1,201 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// sloEngine evaluates the daemon's declared objectives against
+// windowed telemetry. It owns the sliding-window side of the request
+// metrics: per-endpoint windowed latency histograms (layered over the
+// registered lifetime series, so /metrics is untouched) and windowed
+// request/error/shed counters, all fed by the instrument middleware.
+//
+// Evaluation is pull-based — /slo, the SLO gauges and /stats each
+// compute states on demand from the current window contents; there is
+// no background ticker and no alert state to get stuck. An objective's
+// state is derived from its burn rate over two windows (fast ~5m,
+// slow ~1h) per the multi-window multi-burn-rate recipe in
+// internal/obs/slo.go: page needs both windows burning hard, and
+// recovery is automatic as the fast window drains.
+//
+// SLO states are strictly informational. They never feed the
+// degraded-mode state machine (health.go) and never refuse traffic:
+// a paging latency objective with a healthy disk is a capacity
+// conversation, not a reason to serve less.
+type sloEngine struct {
+	objectives []obs.Objective
+	fast, slow time.Duration
+	epoch      time.Duration
+
+	// lat holds one windowed histogram per endpoint, created lazily by
+	// the middleware on first request.
+	latMu sync.RWMutex
+	lat   map[string]*obs.WindowedHistogram
+
+	req  *obs.WindowedCounter // all requests
+	errs *obs.WindowedCounter // 5xx responses, any endpoint
+	recs *obs.WindowedCounter // recommend requests (shed_rate denominator)
+	shed *obs.WindowedCounter // recommend requests answered 429
+}
+
+// newSLOEngine builds the engine. Zero windows default to 5m/1h; the
+// slow window is clamped to at least the fast one. The sub-window
+// epoch is a quarter of the fast window, so a fast-window snapshot is
+// at most 25% stale at the boundary.
+func newSLOEngine(objectives []obs.Objective, fast, slow time.Duration) *sloEngine {
+	if fast <= 0 {
+		fast = 5 * time.Minute
+	}
+	if slow <= 0 {
+		slow = time.Hour
+	}
+	if slow < fast {
+		slow = fast
+	}
+	epoch := fast / 4
+	if epoch < time.Millisecond {
+		epoch = time.Millisecond
+	}
+	return &sloEngine{
+		objectives: objectives,
+		fast:       fast,
+		slow:       slow,
+		epoch:      epoch,
+		lat:        make(map[string]*obs.WindowedHistogram),
+		req:        obs.NewWindowedCounter(epoch, slow),
+		errs:       obs.NewWindowedCounter(epoch, slow),
+		recs:       obs.NewWindowedCounter(epoch, slow),
+		shed:       obs.NewWindowedCounter(epoch, slow),
+	}
+}
+
+// latFor returns the endpoint's windowed latency histogram, creating
+// it over the given lifetime series on first use. Idempotent: later
+// calls with the same endpoint return the same window regardless of
+// the life argument.
+func (e *sloEngine) latFor(endpoint string, life *obs.Histogram) *obs.WindowedHistogram {
+	e.latMu.RLock()
+	w, ok := e.lat[endpoint]
+	e.latMu.RUnlock()
+	if ok {
+		return w
+	}
+	e.latMu.Lock()
+	defer e.latMu.Unlock()
+	if w, ok = e.lat[endpoint]; ok {
+		return w
+	}
+	w = obs.NewWindowedHistogram(life, e.epoch, e.slow)
+	e.lat[endpoint] = w
+	return w
+}
+
+// note folds one completed request into the windowed rate counters.
+func (e *sloEngine) note(endpoint string, status int) {
+	e.req.Inc()
+	if status >= 500 {
+		e.errs.Inc()
+	}
+	if endpoint == "recommend" {
+		e.recs.Inc()
+		if status == 429 {
+			e.shed.Inc()
+		}
+	}
+}
+
+// ObjectiveStatus is one objective's evaluated state — the JSON shape
+// of GET /slo and the `slo` block of /stats.
+type ObjectiveStatus struct {
+	// Objective is the canonical declaration ("recommend.p99<=250ms").
+	Objective string `json:"objective"`
+	Kind      string `json:"kind"`
+	State     string `json:"state"`
+	// Budget is the allowed bad fraction; FastBurn/SlowBurn are the
+	// observed bad fractions over each window divided by it (burn 1 =
+	// spending the budget exactly on schedule).
+	Budget   float64 `json:"budget"`
+	FastBurn float64 `json:"fast_burn"`
+	SlowBurn float64 `json:"slow_burn"`
+	// FastBad of FastTotal requests violated the objective inside the
+	// fast window; SlowBad/SlowTotal likewise for the slow one.
+	FastBad   int64 `json:"fast_bad"`
+	FastTotal int64 `json:"fast_total"`
+	SlowBad   int64 `json:"slow_bad"`
+	SlowTotal int64 `json:"slow_total"`
+	// Value is the measured fast-window value in the objective's own
+	// units — the quantile in milliseconds for latency objectives, the
+	// bad fraction for rate objectives — next to Limit, the declared
+	// bound in the same units.
+	Value float64 `json:"value"`
+	Limit float64 `json:"limit"`
+}
+
+// status evaluates one objective right now.
+func (e *sloEngine) status(o obs.Objective) ObjectiveStatus {
+	st := ObjectiveStatus{
+		Objective: o.String(),
+		Kind:      string(o.Kind),
+		Budget:    o.Budget(),
+	}
+	switch o.Kind {
+	case obs.KindLatency:
+		st.Limit = float64(o.Limit) / float64(time.Millisecond)
+		e.latMu.RLock()
+		w := e.lat[o.Endpoint]
+		e.latMu.RUnlock()
+		if w != nil {
+			fastSnap := w.WindowSnapshot(e.fast)
+			slowSnap := w.WindowSnapshot(e.slow)
+			st.FastTotal = fastSnap.Count
+			st.FastBad = fastSnap.CountAbove(o.Limit.Nanoseconds())
+			st.SlowTotal = slowSnap.Count
+			st.SlowBad = slowSnap.CountAbove(o.Limit.Nanoseconds())
+			st.Value = float64(fastSnap.Quantile(o.Quantile)) / float64(time.Millisecond)
+		}
+	case obs.KindRate:
+		st.Limit = o.MaxRate
+		bad, total := e.errs, e.req
+		if o.Rate == "shed_rate" {
+			bad, total = e.shed, e.recs
+		}
+		st.FastBad = bad.WindowTotal(e.fast)
+		st.FastTotal = total.WindowTotal(e.fast)
+		st.SlowBad = bad.WindowTotal(e.slow)
+		st.SlowTotal = total.WindowTotal(e.slow)
+		if st.FastTotal > 0 {
+			st.Value = float64(st.FastBad) / float64(st.FastTotal)
+		}
+	}
+	st.FastBurn = obs.BurnRate(st.FastBad, st.FastTotal, st.Budget)
+	st.SlowBurn = obs.BurnRate(st.SlowBad, st.SlowTotal, st.Budget)
+	st.State = string(obs.StateFor(st.FastBurn, st.SlowBurn))
+	return st
+}
+
+// evaluate computes every objective's status, declaration order.
+func (e *sloEngine) evaluate() []ObjectiveStatus {
+	out := make([]ObjectiveStatus, len(e.objectives))
+	for i, o := range e.objectives {
+		out[i] = e.status(o)
+	}
+	return out
+}
+
+// sloResponse is the GET /slo body.
+type sloResponse struct {
+	FastWindow string            `json:"fast_window"`
+	SlowWindow string            `json:"slow_window"`
+	Objectives []ObjectiveStatus `json:"objectives"`
+}
+
+func (e *sloEngine) response() sloResponse {
+	return sloResponse{
+		FastWindow: e.fast.String(),
+		SlowWindow: e.slow.String(),
+		Objectives: e.evaluate(),
+	}
+}

@@ -1,0 +1,253 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+// sloObjectives is a test shorthand over obs.ParseObjectives.
+func sloObjectives(t *testing.T, spec string) []obs.Objective {
+	t.Helper()
+	objs, err := obs.ParseObjectives(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return objs
+}
+
+// TestRetryAfterTracksRecentWindow pins the stale-p95 fix: Retry-After
+// must follow the *recent* solve-latency window, not the lifetime
+// histogram. A slow regime is recorded, then expires, then a fast
+// regime replaces it — the old lifetime-snapshot code would keep
+// answering the slow regime's p95 forever.
+func TestRetryAfterTracksRecentWindow(t *testing.T) {
+	d := testDaemonWith(t, func(c *Config) {
+		c.SLOFastWindow = 100 * time.Millisecond // admission retry window; epoch 25ms
+		c.SLOSlowWindow = 200 * time.Millisecond
+	})
+
+	// Slow regime: five 30s solves.
+	for i := 0; i < 5; i++ {
+		d.adm.observe(30 * time.Second)
+	}
+	if got := d.adm.retryAfter(); got < 30 {
+		t.Fatalf("slow-regime Retry-After %d, want ≥ 30", got)
+	}
+
+	// Let the slow regime fall out of the window. With the window
+	// empty the lifetime histogram is the (documented) fallback, so
+	// the answer is still the slow p95 — better than guessing 1.
+	time.Sleep(150 * time.Millisecond)
+	if got := d.adm.retryAfter(); got < 30 {
+		t.Fatalf("empty-window fallback Retry-After %d, want lifetime ≥ 30", got)
+	}
+
+	// Fast regime: the windowed p95 is now ~10ms, so Retry-After must
+	// drop to the floor even though the lifetime p95 is still 30s.
+	for i := 0; i < 20; i++ {
+		d.adm.observe(10 * time.Millisecond)
+	}
+	if got := d.adm.retryAfter(); got != 1 {
+		t.Fatalf("fast-regime Retry-After %d, want 1 (lifetime p95 %v must not leak)",
+			got, time.Duration(d.adm.solve.Snapshot().Quantile(0.95)))
+	}
+}
+
+// TestSLOPageAndRecovery drives the acceptance loop at test speed: a
+// latency objective no request can meet flips to page — visible in
+// /slo, /metrics and /stats within the fast window — while the health
+// state machine stays healthy (SLO states are informational), and once
+// the violating traffic stops the objective returns to ok without a
+// restart.
+func TestSLOPageAndRecovery(t *testing.T) {
+	d := testDaemonWith(t, func(c *Config) {
+		// 1µs p99: every real request violates. Tiny windows so the
+		// page and the recovery both happen inside the test.
+		c.SLO = sloObjectives(t, "recommend.p99<=1us, error_rate<1%, shed_rate<5%")
+		c.SLOFastWindow = 400 * time.Millisecond
+		c.SLOSlowWindow = 800 * time.Millisecond
+	})
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+
+	gen := workload.Hom(workload.HomConfig{Queries: 12, Seed: 5})
+	if resp := post(t, srv, "/ingest", ingestRequest{SQL: renderSQL(gen)}, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/ingest status %d", resp.StatusCode)
+	}
+	for i := 0; i < 3; i++ {
+		if resp := post(t, srv, "/recommend", RecommendOptions{BudgetFraction: 0.5}, nil); resp.StatusCode != http.StatusOK {
+			t.Fatalf("/recommend status %d", resp.StatusCode)
+		}
+	}
+
+	// GET /slo: the latency objective pages, the rate objectives are
+	// fine (every request succeeded, nothing was shed).
+	var sloResp sloResponse
+	getJSON(t, srv, "/slo", &sloResp)
+	if len(sloResp.Objectives) != 3 {
+		t.Fatalf("/slo returned %d objectives, want 3: %+v", len(sloResp.Objectives), sloResp)
+	}
+	lat := sloResp.Objectives[0]
+	if lat.Objective != "recommend.p99<=1µs" || lat.State != string(obs.StatePage) {
+		t.Fatalf("latency objective should page: %+v", lat)
+	}
+	// Every recommend inside the fast window violated the 1µs limit
+	// (the exact count depends on solve speed vs the window).
+	if lat.FastBad < 1 || lat.FastBad != lat.FastTotal || lat.FastBurn < obs.BurnPage {
+		t.Fatalf("latency burn accounting wrong: %+v", lat)
+	}
+	if lat.Value <= lat.Limit {
+		t.Fatalf("measured p99 %.3fms should exceed the %.3fms limit", lat.Value, lat.Limit)
+	}
+	for _, o := range sloResp.Objectives[1:] {
+		if o.State != string(obs.StateOK) {
+			t.Fatalf("rate objective should be ok: %+v", o)
+		}
+	}
+
+	// The page is informational: health stays healthy and requests
+	// keep being served.
+	if state, _ := d.Health(); state != "healthy" {
+		t.Fatalf("SLO page flipped health to %q", state)
+	}
+	if resp := post(t, srv, "/whatif", whatIfRequest{
+		SQL: "SELECT l_extendedprice FROM lineitem WHERE l_shipdate < :0.3;",
+	}, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("request refused during SLO page: %d", resp.StatusCode)
+	}
+
+	// /stats carries the same evaluation; /metrics exports the gauges.
+	if st := d.Snapshot(); len(st.SLO) != 3 || st.SLO[0].State != string(obs.StatePage) {
+		t.Fatalf("/stats slo block wrong: %+v", st.SLO)
+	}
+	mr, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(mr.Body)
+	mr.Body.Close()
+	exposition := string(body)
+	for _, want := range []string{
+		`cophyd_slo_state{objective="recommend.p99<=1µs",state="page"} 1`,
+		`cophyd_slo_state{objective="recommend.p99<=1µs",state="ok"} 0`,
+		`cophyd_slo_state{objective="error_rate<=1%",state="ok"} 1`,
+		`cophyd_slo_burn_rate{objective="shed_rate<=5%"} 0`,
+	} {
+		if !strings.Contains(exposition, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, exposition)
+		}
+	}
+	if !strings.Contains(exposition, `cophyd_slo_burn_rate{objective="recommend.p99<=1µs"}`) {
+		t.Fatalf("/metrics missing latency burn gauge:\n%s", exposition)
+	}
+
+	// Remove the load: the violating samples drain out of both windows
+	// and the objective returns to ok — no restart, no reset call.
+	waitFor(t, "SLO recovery to ok", func() bool {
+		return d.slo.status(d.slo.objectives[0]).State == string(obs.StateOK)
+	})
+}
+
+// TestFlightRecorderEndpoint covers /debug/traces end to end: the
+// slowest request per endpoint is retained with a span breakdown whose
+// durations sum to (at most, and most of) its wall time, a shed
+// request is retained as an event, and the endpoint is guarded by the
+// bearer token.
+func TestFlightRecorderEndpoint(t *testing.T) {
+	const token = "flight-secret"
+	d := testDaemonWith(t, func(c *Config) {
+		c.AuthToken = token
+	})
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+
+	gen := workload.Hom(workload.HomConfig{Queries: 12, Seed: 9})
+	if code, _ := authedPost(t, srv, "/ingest", token, ingestRequest{SQL: renderSQL(gen)}); code != http.StatusOK {
+		t.Fatalf("/ingest status %d", code)
+	}
+	if code, _ := authedPost(t, srv, "/recommend", token, RecommendOptions{BudgetFraction: 0.5}); code != http.StatusOK {
+		t.Fatalf("/recommend status %d", code)
+	}
+	// An unauthorized mutation is a 401 — not a flight event (it is
+	// neither shed nor 5xx), but it must still be measured.
+	if code, _ := authedPost(t, srv, "/recommend", "wrong-token", RecommendOptions{}); code != http.StatusUnauthorized {
+		t.Fatal("bad token accepted")
+	}
+
+	// The recorder itself is guarded.
+	resp, err := srv.Client().Get(srv.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("/debug/traces without token: %d, want 401", resp.StatusCode)
+	}
+
+	req, _ := http.NewRequest("GET", srv.URL+"/debug/traces", nil)
+	req.Header.Set("Authorization", "Bearer "+token)
+	resp, err = srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/traces status %d", resp.StatusCode)
+	}
+	var dump obs.FlightDump
+	if err := json.NewDecoder(resp.Body).Decode(&dump); err != nil {
+		t.Fatal(err)
+	}
+	recs := dump.Slowest["recommend"]
+	if len(recs) == 0 {
+		t.Fatalf("no recommend entries retained: %+v", dump.Slowest)
+	}
+	slowest := recs[0]
+	if slowest.TraceID == "" || slowest.Status != http.StatusOK || slowest.Millis <= 0 {
+		t.Fatalf("slowest entry malformed: %+v", slowest)
+	}
+	if len(slowest.Spans) == 0 {
+		t.Fatalf("slowest entry has no span breakdown: %+v", slowest)
+	}
+	var spanSum float64
+	hasSolve := false
+	for _, sp := range slowest.Spans {
+		spanSum += sp.Millis
+		if sp.Name == "solve" {
+			hasSolve = true
+		}
+	}
+	if !hasSolve {
+		t.Fatalf("recommend trace lost its solve span: %+v", slowest.Spans)
+	}
+	// The spans nest inside the request: their sum accounts for the
+	// wall time without exceeding it (lp.* spans nest inside solve, so
+	// allow 2× headroom upward; downward, the solve dominates the wall).
+	if spanSum <= 0 || spanSum > 2*slowest.Millis {
+		t.Fatalf("span sum %.3fms inconsistent with wall %.3fms", spanSum, slowest.Millis)
+	}
+}
+
+// getJSON decodes a GET endpoint's 200 body.
+func getJSON(t *testing.T, srv *httptest.Server, path string, into any) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("%s status %d", path, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		t.Fatalf("%s: decode: %v", path, err)
+	}
+}

@@ -16,7 +16,8 @@ if [ -z "$BIN" ]; then
 fi
 
 LOG=$(mktemp)
-"$BIN" -addr 127.0.0.1:0 -scale 0.05 -gap 0.05 >"$LOG" 2>&1 &
+SLO_SPEC='recommend.p99<=30s,whatif.p95<=10s,error_rate<=20%,shed_rate<=20%'
+"$BIN" -addr 127.0.0.1:0 -scale 0.05 -gap 0.05 -slo "$SLO_SPEC" >"$LOG" 2>&1 &
 PID=$!
 trap 'kill $PID 2>/dev/null || true' EXIT
 
@@ -99,6 +100,40 @@ echo "$METRICS" | grep -q '^cophyd_recommends_total 2$' || fail "/metrics should
 echo "$METRICS" | grep -q 'cophyd_http_request_seconds_count{endpoint="recommend"} 2' || fail "/metrics is missing the recommend latency histogram" "$METRICS"
 echo "$METRICS" | grep -q 'cophyd_span_seconds_count{span="solve"}' || fail "/metrics is missing the solve span histogram" "$METRICS"
 echo "$METRICS" | grep -q 'cophyd_health{state="healthy"} 1' || fail "/metrics should report the healthy state gauge" "$METRICS"
+echo "$METRICS" | grep -q 'cophyd_slo_state{objective=' || fail "/metrics is missing the SLO state gauges" "$METRICS"
+echo "$METRICS" | grep -q 'cophyd_slo_burn_rate{objective=' || fail "/metrics is missing the SLO burn-rate gauges" "$METRICS"
+
+# /slo: every configured objective comes back evaluated, and these
+# generous limits all hold.
+SLO=$(curl -fsS "$BASE/slo")
+python3 - "$SLO" <<'EOF'
+import json, sys
+r = json.loads(sys.argv[1])
+objs = {o["objective"]: o for o in r["objectives"]}
+want = {"recommend.p99<=30s", "whatif.p95<=10s", "error_rate<=20%", "shed_rate<=20%"}
+assert set(objs) == want, (set(objs), want)
+for name, o in objs.items():
+    assert o["state"] in ("ok", "warn", "page"), o
+    assert o["state"] == "ok", (name, o)  # nothing here should burn a 30s budget
+EOF
+
+# /debug/traces (unguarded on this tokenless daemon): the flight
+# recorder must have kept the slowest recommend with a span breakdown.
+TRACES=$(curl -fsS "$BASE/debug/traces")
+python3 - "$TRACES" <<'EOF'
+import json, sys
+r = json.loads(sys.argv[1])
+recs = r["slowest"]["recommend"]
+assert recs, r["slowest"].keys()
+top = recs[0]
+assert top["trace_id"] and top["status"] == 200, top
+assert top["duration_millis"] > 0, top
+assert top["spans"], top
+assert any(s["name"] == "solve" for s in top["spans"]), top["spans"]
+# Entries are sorted slowest-first.
+durs = [e["duration_millis"] for e in recs]
+assert durs == sorted(durs, reverse=True), durs
+EOF
 
 kill $PID 2>/dev/null || true
 
@@ -200,6 +235,16 @@ r = json.loads(sys.argv[1])
 assert r["warm"] is True, r
 assert not r.get("infeasible"), r
 EOF
+
+# With a token set the flight recorder is guarded: traces expose SQL
+# timings and trace IDs, so no bearer token means no dump.
+TRACE_CODE=$(curl -s -o /dev/null -w '%{http_code}' "$BASE3/debug/traces")
+[ "$TRACE_CODE" = "401" ] || fail "tokenless /debug/traces should be 401, got $TRACE_CODE" ""
+curl -fsS -H "$AUTH" "$BASE3/debug/traces" | python3 -c '
+import json, sys
+r = json.load(sys.stdin)
+assert r["slowest"]["recommend"][0]["spans"], r["slowest"]["recommend"][0]
+'
 
 # --- Overload phase: bursts of simultaneous /recommend against the
 # queue-of-one daemon. Identical requests must coalesce onto a shared
@@ -328,4 +373,4 @@ else
     -d '{"sql": "SELECT l_quantity FROM lineitem WHERE l_quantity > :0.5;"}' >/dev/null
 fi
 
-echo "cophyd smoke test PASSED (kill -9 + warm restart, overload shedding/coalescing, degraded-mode recovery)"
+echo "cophyd smoke test PASSED (kill -9 + warm restart, overload shedding/coalescing, degraded-mode recovery, SLO + flight recorder)"
