@@ -128,7 +128,11 @@ func main() {
 		reqLog = slog.New(slog.NewTextHandler(os.Stderr, nil))
 	}
 
-	d, err := server.New(server.Config{
+	// Boot under a signal-aware context: a SIGTERM during a long WAL
+	// replay aborts recovery instead of blocking shutdown until it
+	// finishes (the replay is idempotent — the next boot redoes it).
+	bootCtx, stopBoot := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	d, err := server.NewCtx(bootCtx, server.Config{
 		Catalog:        cat,
 		Engine:         eng,
 		Advisor:        cophy.Options{GapTol: *gap, RootIters: *rootIters, MaxNodes: *maxNodes},
@@ -147,6 +151,7 @@ func main() {
 		FlightKeep:     *traceKeep,
 		FlightEvents:   *traceEvents,
 	})
+	stopBoot()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)

@@ -1,0 +1,186 @@
+// Command cophyvet runs the repo's domain analyzers (internal/lint)
+// over module packages: the compile-time guard for conventions go vet
+// cannot see — deterministic float reductions, the unified JSON error
+// body, cophyd_* metric naming, ctx-threaded tracing, injected clocks
+// and no-copy atomics. See the package README for flags, the ignore
+// directive, and what each analyzer enforces.
+//
+// Usage:
+//
+//	cophyvet [flags] [patterns]
+//
+// Patterns are package directories; a trailing /... analyzes the whole
+// tree below (testdata and hidden directories excluded). With no
+// pattern, ./... is assumed. Exit status: 0 clean, 1 diagnostics
+// found, 2 usage or load failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("cophyvet", flag.ContinueOnError)
+	var (
+		enable  = fs.String("enable", "", "comma-separated analyzers to run (default: all)")
+		disable = fs.String("disable", "", "comma-separated analyzers to skip")
+		list    = fs.Bool("list", false, "list analyzers and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	analyzers, err := selectAnalyzers(*enable, *disable)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cophyvet:", err)
+		return 2
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := loadPatterns(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cophyvet:", err)
+		return 2
+	}
+	loadFailed := false
+	for _, p := range pkgs {
+		for _, e := range p.Errs {
+			fmt.Fprintf(os.Stderr, "cophyvet: %s: %v\n", p.Path, e)
+			loadFailed = true
+		}
+	}
+	if loadFailed {
+		return 2
+	}
+
+	enabled := make([]string, len(analyzers))
+	for i, a := range analyzers {
+		enabled[i] = a.Name
+	}
+	diags := lint.ApplyIgnores(pkgs, lint.RunAnalyzers(pkgs, analyzers), lint.Names(), enabled)
+	lint.SortDiagnostics(diags)
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		file := d.Pos.Filename
+		if rel, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = rel
+		}
+		fmt.Printf("%s:%d:%d: %s (%s)\n", file, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// selectAnalyzers applies -enable/-disable to the registry.
+func selectAnalyzers(enable, disable string) ([]*lint.Analyzer, error) {
+	picked := lint.All()
+	if enable != "" {
+		picked = picked[:0]
+		for _, name := range strings.Split(enable, ",") {
+			a := lint.ByName(strings.TrimSpace(name))
+			if a == nil {
+				return nil, fmt.Errorf("unknown analyzer %q (see -list)", strings.TrimSpace(name))
+			}
+			picked = append(picked, a)
+		}
+	}
+	if disable == "" {
+		return picked, nil
+	}
+	drop := make(map[string]bool)
+	for _, name := range strings.Split(disable, ",") {
+		name = strings.TrimSpace(name)
+		if lint.ByName(name) == nil {
+			return nil, fmt.Errorf("unknown analyzer %q (see -list)", name)
+		}
+		drop[name] = true
+	}
+	var out []*lint.Analyzer
+	for _, a := range picked {
+		if !drop[a.Name] {
+			out = append(out, a)
+		}
+	}
+	return out, nil
+}
+
+// loadPatterns resolves each pattern to packages, deduplicated by
+// import path, sharing one loader (and so one type-checked view) per
+// module.
+func loadPatterns(patterns []string) ([]*lint.Package, error) {
+	loaders := make(map[string]*lint.Loader)
+	loaderFor := func(dir string) (*lint.Loader, error) {
+		root, err := lint.FindModuleRoot(dir)
+		if err != nil {
+			return nil, err
+		}
+		if l, ok := loaders[root]; ok {
+			return l, nil
+		}
+		l, err := lint.NewLoader(root)
+		if err != nil {
+			return nil, err
+		}
+		loaders[root] = l
+		return l, nil
+	}
+
+	seen := make(map[string]bool)
+	var out []*lint.Package
+	add := func(ps ...*lint.Package) {
+		for _, p := range ps {
+			if !seen[p.Path] {
+				seen[p.Path] = true
+				out = append(out, p)
+			}
+		}
+	}
+	for _, pat := range patterns {
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			dir := rest
+			if dir == "" || dir == "." {
+				dir = "."
+			}
+			l, err := loaderFor(dir)
+			if err != nil {
+				return nil, err
+			}
+			pkgs, err := l.LoadTree(dir)
+			if err != nil {
+				return nil, err
+			}
+			add(pkgs...)
+			continue
+		}
+		l, err := loaderFor(pat)
+		if err != nil {
+			return nil, err
+		}
+		p, err := l.LoadDir(pat)
+		if err != nil {
+			return nil, err
+		}
+		add(p)
+	}
+	return out, nil
+}

@@ -1,0 +1,47 @@
+package main
+
+import "testing"
+
+func TestSelectAnalyzers(t *testing.T) {
+	all, err := selectAnalyzers("", "")
+	if err != nil || len(all) != 6 {
+		t.Fatalf("default selection: got %d analyzers, err %v; want 6, nil", len(all), err)
+	}
+	picked, err := selectAnalyzers("floatdet, ctxflow", "")
+	if err != nil || len(picked) != 2 || picked[0].Name != "floatdet" || picked[1].Name != "ctxflow" {
+		t.Fatalf("-enable floatdet,ctxflow: got %v, err %v", picked, err)
+	}
+	trimmed, err := selectAnalyzers("", "errbody")
+	if err != nil || len(trimmed) != len(all)-1 {
+		t.Fatalf("-disable errbody: got %d analyzers, err %v; want %d, nil", len(trimmed), err, len(all)-1)
+	}
+	for _, a := range trimmed {
+		if a.Name == "errbody" {
+			t.Fatalf("-disable errbody left it enabled")
+		}
+	}
+	if _, err := selectAnalyzers("nope", ""); err == nil {
+		t.Fatal("-enable nope: want error, got nil")
+	}
+	if _, err := selectAnalyzers("", "nope"); err == nil {
+		t.Fatal("-disable nope: want error, got nil")
+	}
+}
+
+func TestRunExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks packages; skipped in -short")
+	}
+	if code := run([]string{"-list"}); code != 0 {
+		t.Errorf("-list: exit %d, want 0", code)
+	}
+	if code := run([]string{"-enable", "nope"}); code != 2 {
+		t.Errorf("-enable nope: exit %d, want 2", code)
+	}
+	if code := run([]string{"../../internal/lint/testdata/src/floatdet"}); code != 1 {
+		t.Errorf("floatdet testdata: exit %d, want 1 (diagnostics present)", code)
+	}
+	if code := run([]string{"../../internal/lint/testdata/src/nakedclock_noseam"}); code != 0 {
+		t.Errorf("clean package: exit %d, want 0", code)
+	}
+}

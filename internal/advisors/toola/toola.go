@@ -307,11 +307,13 @@ func (ad *Advisor) bytesOf(ix *catalog.Index) int64 {
 }
 
 func (ad *Advisor) sizeOf(current map[string]*catalog.Index) float64 {
-	var sum float64
+	// Integer accumulation keeps the sum exact regardless of map
+	// iteration order; converting once at the end cannot reorder it.
+	var sum int64
 	for _, ix := range current {
-		sum += float64(ad.bytesOf(ix))
+		sum += ad.bytesOf(ix)
 	}
-	return sum
+	return float64(sum)
 }
 
 // perQueryCandidates derives the small per-query candidate set the

@@ -1,0 +1,148 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Atomiccopy flags by-value copies of structs that contain sync/atomic
+// values (atomic.Int64 and friends — the lock-free histograms, window
+// slots and admission counters are built from them). A copied atomic
+// forks the value silently: both copies keep working, each counting
+// half the traffic, and -race sees nothing because every access is
+// still atomic. go vet's copylocks only catches these through the
+// noCopy Lock/Unlock convention at assignment sites; this check also
+// covers signatures (params, results, receivers) and range copies,
+// where a fork hides best.
+//
+// Flagged: a non-pointer parameter, result or receiver whose type
+// transitively contains an atomic; an assignment whose right-hand side
+// copies an existing atomic-bearing value (dereference, field, index);
+// and a range value variable of such a type. Composite literals and
+// function calls on the right-hand side are construction, not copying,
+// and stay legal.
+var Atomiccopy = &Analyzer{
+	Name: "atomiccopy",
+	Doc:  "flags by-value copies of structs containing sync/atomic values (forked counters, silent under -race)",
+	Run:  runAtomiccopy,
+}
+
+func runAtomiccopy(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch d := n.(type) {
+			case *ast.FuncDecl:
+				checkAtomicSignature(pass, d.Recv, d.Type)
+			case *ast.FuncLit:
+				checkAtomicSignature(pass, nil, d.Type)
+			case *ast.AssignStmt:
+				for i, rhs := range d.Rhs {
+					// Assigning to the blank identifier evaluates and
+					// discards; nothing is forked.
+					if len(d.Lhs) == len(d.Rhs) {
+						if id, ok := d.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+							continue
+						}
+					}
+					checkAtomicCopySource(pass, rhs)
+				}
+			case *ast.ValueSpec:
+				for _, rhs := range d.Values {
+					checkAtomicCopySource(pass, rhs)
+				}
+			case *ast.RangeStmt:
+				if d.Value != nil {
+					if name := containsAtomic(pass.TypeOf(d.Value), nil); name != "" {
+						pass.Reportf(d.Value.Pos(),
+							"range copies each element by value, forking its %s; range by index instead", name)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkAtomicSignature flags non-pointer atomic-bearing receiver,
+// parameter and result types.
+func checkAtomicSignature(pass *Pass, recv *ast.FieldList, ft *ast.FuncType) {
+	check := func(fl *ast.FieldList, role string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			t := pass.TypeOf(field.Type)
+			if name := containsAtomic(t, nil); name != "" {
+				pass.Reportf(field.Type.Pos(),
+					"%s passed by value forks its %s (both copies keep counting, each half the traffic); use a pointer", role, name)
+			}
+		}
+	}
+	check(recv, "receiver")
+	check(ft.Params, "parameter")
+	check(ft.Results, "result")
+}
+
+// checkAtomicCopySource flags right-hand sides that copy an existing
+// atomic-bearing value. Construction expressions (composite literals,
+// calls, conversions of literals) are not copies.
+func checkAtomicCopySource(pass *Pass, rhs ast.Expr) {
+	if !copiesExistingValue(rhs) {
+		return
+	}
+	if name := containsAtomic(pass.TypeOf(rhs), nil); name != "" {
+		pass.Reportf(rhs.Pos(),
+			"assignment copies a value containing %s; take a pointer instead of forking the atomic", name)
+	}
+}
+
+// copiesExistingValue reports whether e reads an existing addressable
+// value (so assigning it makes a copy).
+func copiesExistingValue(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name != "nil"
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	case *ast.ParenExpr:
+		return copiesExistingValue(x.X)
+	}
+	return false
+}
+
+// containsAtomic returns the name of the first sync/atomic type found
+// inside t ("" when none). Pointers, slices, maps and channels stop
+// the walk — they share, not copy. seen guards recursive types.
+func containsAtomic(t types.Type, seen map[types.Type]bool) string {
+	if t == nil {
+		return ""
+	}
+	if seen[t] {
+		return ""
+	}
+	if seen == nil {
+		seen = make(map[types.Type]bool)
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" {
+			switch obj.Name() {
+			case "Bool", "Int32", "Int64", "Uint32", "Uint64", "Uintptr", "Pointer", "Value":
+				return "atomic." + obj.Name()
+			}
+		}
+		return containsAtomic(named.Underlying(), seen)
+	}
+	switch u := t.(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if name := containsAtomic(u.Field(i).Type(), seen); name != "" {
+				return name
+			}
+		}
+	case *types.Array:
+		return containsAtomic(u.Elem(), seen)
+	}
+	return ""
+}

@@ -1,0 +1,79 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// Errbody guards the unified JSON error body (PR 6): in the daemon's
+// HTTP package every error response — 400 through 503 — flows through
+// the writeError helper, so clients always parse one shape
+// ({"error", "status", "retry_after_seconds"?}) and Retry-After
+// semantics stay consistent. A raw http.Error (plain-text body) or a
+// direct WriteHeader with an error status silently forks the contract.
+//
+// The check applies to packages named "server". http.Error is always
+// flagged; WriteHeader is flagged unless its argument is a constant
+// below 400 — a non-constant status may be an error status, and the
+// two legitimate pass-throughs (healthz's state-mapped status, the
+// middleware's recording wrapper) carry //lint:ignore directives
+// stating why they are not error responses.
+var Errbody = &Analyzer{
+	Name: "errbody",
+	Doc:  "flags http.Error and raw error-status WriteHeader outside the unified JSON error helper in server packages",
+	Run:  runErrbody,
+}
+
+// errbodyHelper is the one function allowed to write error statuses.
+const errbodyHelper = "writeError"
+
+func runErrbody(pass *Pass) {
+	if pass.Pkg.Name() != "server" {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if enclosingFuncName(f, call.Pos()) == errbodyHelper {
+				return true
+			}
+			switch {
+			case isNetHTTPError(pass, sel):
+				pass.Reportf(call.Pos(),
+					"http.Error writes a plain-text body; use %s for the unified JSON error shape", errbodyHelper)
+			case sel.Sel.Name == "WriteHeader" && len(call.Args) == 1:
+				if c, known := constStatus(pass, call.Args[0]); !known || c >= 400 {
+					pass.Reportf(call.Pos(),
+						"direct WriteHeader with a possibly-error status bypasses %s (unified JSON error body)", errbodyHelper)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isNetHTTPError reports whether sel resolves to net/http.Error.
+func isNetHTTPError(pass *Pass, sel *ast.SelectorExpr) bool {
+	obj := pass.Pkg.Info.Uses[sel.Sel]
+	fn, ok := obj.(*types.Func)
+	return ok && fn.Name() == "Error" && fn.Pkg() != nil && fn.Pkg().Path() == "net/http"
+}
+
+// constStatus evaluates arg as a constant int status; known is false
+// for non-constant expressions.
+func constStatus(pass *Pass, arg ast.Expr) (status int64, known bool) {
+	tv, ok := pass.Pkg.Info.Types[arg]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	v, exact := constant.Int64Val(tv.Value)
+	return v, exact
+}

@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Floatdet flags floating-point accumulation driven by map iteration.
+//
+// Go randomizes map iteration order, and float addition is not
+// associative, so `for k, v := range m { sum += v }` yields run-to-run
+// different low bits — exactly the nondeterminism the solver pipeline's
+// in-order-reduction discipline (PR 1) exists to prevent: parallel
+// reductions there sum worker results in index order so a result is
+// bit-identical to the serial build. The fix is the same everywhere:
+// iterate a sorted key slice (or a slice-ordered view) instead of the
+// map, or accumulate into integers.
+var Floatdet = &Analyzer{
+	Name: "floatdet",
+	Doc:  "flags range-over-map loops feeding a floating-point accumulator (nondeterministic result bits)",
+	Run:  runFloatdet,
+}
+
+func runFloatdet(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypeOf(rng.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkFloatAccum(pass, rng)
+			return true
+		})
+	}
+}
+
+// checkFloatAccum reports compound float assignments inside the map
+// range whose accumulator outlives the loop body. An accumulator
+// declared inside the body resets every iteration and cannot carry
+// order dependence across iterations, so it stays legal.
+func checkFloatAccum(pass *Pass, rng *ast.RangeStmt) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		default:
+			return true
+		}
+		lhs := as.Lhs[0]
+		if !isFloat(pass.TypeOf(lhs)) {
+			return true
+		}
+		obj := rootObject(pass, lhs)
+		if obj == nil || obj.Pos() == token.NoPos {
+			return true
+		}
+		if obj.Pos() >= rng.Body.Pos() && obj.Pos() < rng.Body.End() {
+			return true // per-iteration accumulator: order cannot leak out
+		}
+		pass.Reportf(as.Pos(),
+			"floating-point accumulation over map iteration order is nondeterministic; range a sorted key slice instead (in-order-reduction discipline)")
+		return true
+	})
+}
+
+// isFloat reports whether t's core type is a floating-point or complex
+// basic type.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// rootObject resolves the leftmost identifier of an assignable
+// expression (s.attract[i] → s) to its declaring object.
+func rootObject(pass *Pass, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			if obj := pass.Pkg.Info.Uses[x]; obj != nil {
+				return obj
+			}
+			return pass.Pkg.Info.Defs[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strconv"
+)
+
+// Metricname enforces the metric naming contract of the observability
+// core (PR 7): every series registered on an obs.Registry is named
+// cophyd_[a-z0-9_]+, counters end in _total (Prometheus convention —
+// dashboards and the bench harness both key on it), non-counters must
+// not claim _total, and one name must mean one kind. The registry
+// panics at first exposition when a name is registered as two kinds;
+// this catches the same conflict — and the silent naming drift the
+// panic cannot see — at review time.
+//
+// Names must be string literals at the registration site: a computed
+// name is invisible to static checking, so it is flagged too (labels,
+// not name concatenation, are the sanctioned way to parameterize a
+// series).
+var Metricname = &Analyzer{
+	Name: "metricname",
+	Doc:  "enforces cophyd_* metric naming, the counter _total suffix and kind-consistent registration",
+	Run:  runMetricname,
+}
+
+var metricNameRE = regexp.MustCompile(`^cophyd_[a-z0-9_]+$`)
+
+// metricKinds maps obs.Registry registration methods to the family
+// kind they declare.
+var metricKinds = map[string]string{
+	"Counter":     "counter",
+	"CounterFunc": "counter",
+	"Gauge":       "gauge",
+	"GaugeFunc":   "gauge",
+	"Histogram":   "histogram",
+}
+
+func runMetricname(pass *Pass) {
+	seen := make(map[string]string) // metric name → kind, package-wide
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			kind, ok := metricKinds[sel.Sel.Name]
+			if !ok || !isObsRegistry(pass, sel.X) || len(call.Args) == 0 {
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok {
+				pass.Reportf(call.Args[0].Pos(),
+					"metric name must be a string literal so it can be checked statically; parameterize with labels instead")
+				return true
+			}
+			name, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			checkMetricName(pass, lit, name, kind, seen)
+			return true
+		})
+	}
+}
+
+func checkMetricName(pass *Pass, lit *ast.BasicLit, name, kind string, seen map[string]string) {
+	if !metricNameRE.MatchString(name) {
+		pass.Reportf(lit.Pos(), "metric %q does not match the registry naming contract ^cophyd_[a-z0-9_]+$", name)
+		return
+	}
+	total := len(name) > len("_total") && name[len(name)-len("_total"):] == "_total"
+	switch {
+	case kind == "counter" && !total:
+		pass.Reportf(lit.Pos(), "counter %q must end in _total (Prometheus counter convention)", name)
+	case kind != "counter" && total:
+		pass.Reportf(lit.Pos(), "%s %q must not end in _total — that suffix promises a counter", kind, name)
+	}
+	if prev, dup := seen[name]; dup && prev != kind {
+		pass.Reportf(lit.Pos(), "metric %q already registered as a %s in this package; registering it as a %s would panic at exposition", name, prev, kind)
+		return
+	}
+	seen[name] = kind
+}
+
+// isObsRegistry reports whether expr's type is obs.Registry or
+// *obs.Registry — a named type Registry in a package named obs.
+func isObsRegistry(pass *Pass, expr ast.Expr) bool {
+	t := pass.TypeOf(expr)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Registry" && obj.Pkg() != nil && obj.Pkg().Name() == "obs"
+}

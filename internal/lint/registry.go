@@ -1,0 +1,36 @@
+package lint
+
+// All returns every analyzer, in stable order. Each one guards a
+// convention an earlier PR established and documented in DESIGN.md;
+// the Doc strings name the invariant so a diagnostic is traceable to
+// the discipline it enforces.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Floatdet,
+		Errbody,
+		Metricname,
+		Ctxflow,
+		Nakedclock,
+		Atomiccopy,
+	}
+}
+
+// Names returns the analyzer names in All order.
+func Names() []string {
+	all := All()
+	names := make([]string, len(all))
+	for i, a := range all {
+		names[i] = a.Name
+	}
+	return names
+}
+
+// ByName resolves an analyzer by name (nil when unknown).
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+// Package atomiccopy exercises the atomiccopy analyzer: by-value
+// copies of structs containing sync/atomic values fork the counter
+// silently. Construction (composite literals), pointers, and
+// range-by-index stay legal.
+package atomiccopy
+
+import "sync/atomic"
+
+type counters struct {
+	hits atomic.Int64
+	miss atomic.Int64
+}
+
+type shard struct {
+	inner counters
+}
+
+func flaggedParam(c counters) int64 { // want "parameter passed by value forks its atomic.Int64"
+	return c.hits.Load()
+}
+
+func (c counters) flaggedReceiver() int64 { // want "receiver passed by value forks its atomic.Int64"
+	return c.hits.Load()
+}
+
+func flaggedResult(p *counters) counters { // want "result passed by value forks its atomic.Int64"
+	return *p
+}
+
+func flaggedDeref(p *counters) {
+	c := *p // want "assignment copies a value containing atomic.Int64"
+	c.hits.Add(1)
+}
+
+func flaggedField(s *shard) {
+	c := s.inner // want "assignment copies a value containing atomic.Int64"
+	c.hits.Add(1)
+}
+
+func flaggedRange(cs []counters) int64 {
+	var total int64
+	for _, c := range cs { // want "range copies each element by value"
+		total += c.hits.Load()
+	}
+	return total
+}
+
+func cleanPointerParam(c *counters) int64 {
+	return c.hits.Load()
+}
+
+func cleanConstruction() *counters {
+	var zero counters
+	zero.hits.Add(1)
+	fresh := counters{}
+	fresh.miss.Add(1)
+	return &counters{}
+}
+
+func cleanRangeByIndex(cs []counters) int64 {
+	var total int64
+	for i := range cs {
+		total += cs[i].hits.Load()
+	}
+	return total
+}
+
+func cleanBlank(p *counters) {
+	_ = *p // evaluated and discarded: nothing is forked
+}

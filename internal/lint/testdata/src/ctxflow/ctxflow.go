@@ -1,0 +1,42 @@
+// Package ctxflow exercises the ctxflow analyzer: context.Background()
+// and context.TODO() must not be fed to ctx-threaded callees (*Ctx,
+// *Ingest) outside package main, except in the documented no-ctx
+// convenience wrapper F → FCtx.
+package ctxflow
+
+import "context"
+
+type session struct{}
+
+func (s *session) SolveCtx(ctx context.Context, n int) int { return n }
+
+func (s *session) applyIngest(ctx context.Context, sql string) {}
+
+func Ingest(ctx context.Context, sql string) {}
+
+func flaggedBackground(s *session) int {
+	return s.SolveCtx(context.Background(), 1) // want "severs tracing and timeouts"
+}
+
+func flaggedTODO() {
+	Ingest(context.TODO(), "select 1") // want "severs tracing and timeouts"
+}
+
+func flaggedMethodIngest(s *session) {
+	s.applyIngest(context.Background(), "select 1") // want "severs tracing and timeouts"
+}
+
+// Solve is the sanctioned no-ctx convenience wrapper: the one place a
+// Background may originate outside package main.
+func (s *session) Solve(n int) int {
+	return s.SolveCtx(context.Background(), n)
+}
+
+func cleanThreaded(ctx context.Context, s *session) int {
+	return s.SolveCtx(ctx, 2)
+}
+
+func ignoredDetached(s *session) {
+	//lint:ignore ctxflow testdata demonstration of a deliberately detached call
+	s.applyIngest(context.Background(), "select 1")
+}

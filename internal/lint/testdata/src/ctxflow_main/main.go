@@ -1,0 +1,12 @@
+// Package main is exempt from ctxflow: the process root owns the base
+// context, so Background here is where the chain legitimately starts.
+// No diagnostics are expected anywhere in this file.
+package main
+
+import "context"
+
+func SolveCtx(ctx context.Context, n int) int { return n }
+
+func main() {
+	_ = SolveCtx(context.Background(), 1)
+}

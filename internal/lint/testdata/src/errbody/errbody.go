@@ -1,0 +1,46 @@
+// Package server (testdata) exercises the errbody analyzer: in a
+// package named server, every error status must flow through the
+// writeError helper; http.Error and raw WriteHeader writes fork the
+// unified JSON error body.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// writeError is the sanctioned single writer of error statuses.
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]any{"error": err.Error(), "status": status})
+}
+
+func flaggedHTTPError(w http.ResponseWriter) {
+	http.Error(w, "boom", http.StatusInternalServerError) // want "plain-text body"
+}
+
+func flaggedConstStatus(w http.ResponseWriter) {
+	w.WriteHeader(http.StatusBadRequest) // want "bypasses writeError"
+}
+
+func flaggedVariableStatus(w http.ResponseWriter, code int) {
+	w.WriteHeader(code) // want "bypasses writeError"
+}
+
+// ignoredPassThrough demonstrates the documented escape hatch: a
+// status write that provably originates no error response may carry a
+// //lint:ignore with its reason.
+func ignoredPassThrough(w http.ResponseWriter, code int) {
+	//lint:ignore errbody testdata demonstration of a recording pass-through
+	w.WriteHeader(code)
+}
+
+func cleanSuccessStatus(w http.ResponseWriter) {
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func cleanThroughHelper(w http.ResponseWriter) {
+	writeError(w, http.StatusUnprocessableEntity, errors.New("bad request body"))
+}

@@ -1,0 +1,77 @@
+// Package floatdet exercises the floatdet analyzer: floating-point
+// accumulation driven by map iteration order is flagged; slice-ordered,
+// integer, or per-iteration accumulation is not.
+package floatdet
+
+import "sort"
+
+func flaggedSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want "map iteration order is nondeterministic"
+	}
+	return sum
+}
+
+func flaggedNested(m map[int][]float64) float64 {
+	var total float64
+	for _, vs := range m {
+		for _, v := range vs {
+			total += v // want "map iteration order is nondeterministic"
+		}
+	}
+	return total
+}
+
+func flaggedProduct(weights map[string]float64) float64 {
+	p := 1.0
+	for _, w := range weights {
+		p *= w // want "map iteration order is nondeterministic"
+	}
+	return p
+}
+
+type stats struct{ mean float64 }
+
+func flaggedField(m map[string]float64, s *stats) {
+	for _, v := range m {
+		s.mean += v // want "map iteration order is nondeterministic"
+	}
+}
+
+// cleanSorted is the canonical fix: iterate a sorted key slice.
+func cleanSorted(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sum float64
+	for _, k := range keys {
+		sum += m[k]
+	}
+	return sum
+}
+
+// cleanInt accumulates integers: exact, hence order-independent.
+func cleanInt(m map[string]int64) int64 {
+	var sum int64
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// cleanPerIteration declares its accumulator inside the loop body, so
+// it resets every iteration and no order dependence can escape.
+func cleanPerIteration(m map[string][]float64) []float64 {
+	var out []float64
+	for _, vs := range m {
+		var s float64
+		for _, v := range vs {
+			s += v
+		}
+		out = append(out, s)
+	}
+	return out
+}

@@ -1,0 +1,34 @@
+// Package nakedclock exercises the nakedclock analyzer: this package
+// declares a clock seam (the `now` field), so naked time.Now/time.Since
+// calls read the wall clock behind the seam's back and are flagged.
+// Referencing time.Now as the seam's production default is sanctioned.
+package nakedclock
+
+import "time"
+
+type rotator struct {
+	now   func() time.Time // the injected-clock seam
+	epoch time.Time
+}
+
+// newRotator wires the production default: a value reference to
+// time.Now, not a call — the sanctioned idiom.
+func newRotator() *rotator {
+	return &rotator{now: time.Now}
+}
+
+func (r *rotator) flaggedRotate() {
+	r.epoch = time.Now() // want "call the seam instead of time.Now"
+}
+
+func (r *rotator) flaggedAge() time.Duration {
+	return time.Since(r.epoch) // want "call the seam instead of time.Since"
+}
+
+func (r *rotator) cleanRotate() {
+	r.epoch = r.now()
+}
+
+func (r *rotator) cleanAge() time.Duration {
+	return r.now().Sub(r.epoch)
+}

@@ -1,0 +1,12 @@
+// Package noseam has no injected-clock seam, so ordinary wall-clock
+// timing is not nakedclock's concern. No diagnostics are expected
+// anywhere in this file.
+package noseam
+
+import "time"
+
+func elapsed(f func()) time.Duration {
+	t0 := time.Now()
+	f()
+	return time.Since(t0)
+}

@@ -60,7 +60,7 @@ func NewTrace() *Trace {
 	}
 	return &Trace{
 		ID:    hex.EncodeToString(b[:]),
-		Start: time.Now(),
+		Start: clock(),
 		spans: make(map[string]*spanCell),
 	}
 }
@@ -115,8 +115,8 @@ func (t *Trace) StartSpan(name string) func() {
 	if t == nil {
 		return func() {}
 	}
-	t0 := time.Now()
-	return func() { t.Add(name, time.Since(t0)) }
+	t0 := clock()
+	return func() { t.Add(name, sinceClock(t0)) }
 }
 
 // Spans returns the accumulated spans in first-recorded order.

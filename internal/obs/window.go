@@ -57,7 +57,7 @@ func NewWindowedHistogram(life *Histogram, epoch, span time.Duration) *WindowedH
 	if span%epoch != 0 {
 		n++
 	}
-	w := &WindowedHistogram{life: life, epoch: epoch, slots: make([]windowSlot, n), now: time.Now}
+	w := &WindowedHistogram{life: life, epoch: epoch, slots: make([]windowSlot, n), now: clock}
 	for i := range w.slots {
 		w.slots[i].stamp.Store(-1)
 	}
@@ -180,7 +180,7 @@ func NewWindowedCounter(epoch, span time.Duration) *WindowedCounter {
 	if span%epoch != 0 {
 		n++
 	}
-	c := &WindowedCounter{epoch: epoch, slots: make([]counterSlot, n), now: time.Now}
+	c := &WindowedCounter{epoch: epoch, slots: make([]counterSlot, n), now: clock}
 	for i := range c.slots {
 		c.slots[i].stamp.Store(-1)
 	}

@@ -204,8 +204,19 @@ type Daemon struct {
 // plans stay cached; beyond it the oldest entry is evicted.
 const maxWhatIfEntries = 4096
 
-// New builds a daemon over the given system.
+// New builds a daemon over the given system. It is the no-ctx
+// convenience form of NewCtx; a caller with a boot context (cophyd
+// threads its signal-aware one, so a SIGTERM can abort a long WAL
+// replay) should use NewCtx directly.
 func New(cfg Config) (*Daemon, error) {
+	return NewCtx(context.Background(), cfg)
+}
+
+// NewCtx builds a daemon over the given system. ctx bounds the boot
+// work — in particular the WAL replay of recovery, which re-ingests
+// every logged batch through the live code path and can run long after
+// a crash mid-traffic.
+func NewCtx(ctx context.Context, cfg Config) (*Daemon, error) {
 	if cfg.Catalog == nil || cfg.Engine == nil {
 		return nil, fmt.Errorf("server: Catalog and Engine are required")
 	}
@@ -259,7 +270,7 @@ func New(cfg Config) (*Daemon, error) {
 	// session warm state from the data directory before serving.
 	if cfg.Store != nil {
 		d.store = cfg.Store
-		if err := d.recover(); err != nil {
+		if err := d.recover(ctx); err != nil {
 			return nil, err
 		}
 	}

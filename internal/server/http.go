@@ -163,6 +163,7 @@ func (d *Daemon) Handler() http.Handler {
 			code = http.StatusServiceUnavailable
 		}
 		w.Header().Set("Content-Type", "application/json")
+		//lint:ignore errbody healthz speaks the health body (status/cause/warming), not the error shape; its 503 is a state report, not a refusal
 		w.WriteHeader(code)
 		enc := json.NewEncoder(w)
 		_ = enc.Encode(struct {
@@ -183,6 +184,7 @@ type statusWriter struct {
 
 func (sw *statusWriter) WriteHeader(code int) {
 	sw.code = code
+	//lint:ignore errbody middleware pass-through: records the status a handler already wrote, originates nothing
 	sw.ResponseWriter.WriteHeader(code)
 }
 

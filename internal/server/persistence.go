@@ -117,7 +117,10 @@ type RecoveryStats struct {
 // WAL tail, then the derived state — the INUM cache is re-prepared over
 // the recovered statements and the session is reconstructed around the
 // recovered candidates and multipliers so the first solve is warm.
-func (d *Daemon) recover() error {
+// ctx is the boot context threaded from NewCtx: replayed ingests run
+// through the live applyIngest path, so cancelling it aborts a long
+// replay the same way a request context aborts an ingest.
+func (d *Daemon) recover(ctx context.Context) error {
 	t0 := time.Now()
 	var pending *sessionState
 	var plans *planPayload
@@ -145,7 +148,7 @@ func (d *Daemon) recover() error {
 			}
 			switch r.Type {
 			case "ingest":
-				if _, err := d.applyIngest(context.Background(), r.SQL, r.Scale, false); err != nil {
+				if _, err := d.applyIngest(ctx, r.SQL, r.Scale, false); err != nil {
 					return fmt.Errorf("server: replaying ingest: %w", err)
 				}
 			case "session":
@@ -225,6 +228,10 @@ func (d *Daemon) recover() error {
 // true until it finishes.
 func (d *Daemon) warmPrepare(w *workload.Workload) {
 	t0 := time.Now()
+	// The warm-up is detached by design: recovery returns before it
+	// runs, no request is waiting on it, and the daemon serves
+	// (on-demand-preparing) while it proceeds.
+	//lint:ignore ctxflow background warm-up outlives the boot context and answers no request; nothing to trace or time out
 	d.ad.Inum.PrepareCtx(context.Background(), w)
 	live := d.stream.LiveIDs()
 	for _, st := range w.Statements {
